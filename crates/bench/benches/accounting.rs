@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the carbon-accounting hot paths: the operations a
+//! fleet-wide telemetry pipeline performs millions of times per collection
+//! interval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sustain_core::embodied::{AllocationPolicy, EmbodiedModel};
+use sustain_core::footprint::CarbonFootprint;
+use sustain_core::intensity::{CarbonIntensity, GridRegion};
+use sustain_core::lifecycle::MlPhase;
+use sustain_core::operational::OperationalAccount;
+use sustain_core::pue::Pue;
+use sustain_core::units::{Co2e, Energy, Power, TimeSpan};
+use sustain_telemetry::hierarchy::TraceTree;
+use sustain_telemetry::trace::PowerTrace;
+use sustain_telemetry::tracker::CarbonTracker;
+
+fn bench_accounting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accounting");
+
+    let account = OperationalAccount::new(
+        CarbonIntensity::US_AVERAGE_2021,
+        Pue::new(1.1).expect("valid"),
+    );
+    group.bench_function("operational_emissions", |b| {
+        b.iter(|| black_box(account.location_based(black_box(Energy::from_kilowatt_hours(42.0)))))
+    });
+
+    let embodied = EmbodiedModel::gpu_server().expect("valid");
+    group.bench_function("embodied_amortize_usage_share", |b| {
+        b.iter(|| {
+            black_box(
+                embodied
+                    .amortize(
+                        black_box(TimeSpan::from_days(3.0)),
+                        AllocationPolicy::UsageShare,
+                    )
+                    .expect("valid span"),
+            )
+        })
+    });
+
+    group.bench_function("grid_region_intensity", |b| {
+        b.iter(|| {
+            let total: f64 = GridRegion::ALL
+                .iter()
+                .map(|r| r.intensity().as_grams_per_kwh())
+                .sum();
+            black_box(total)
+        })
+    });
+
+    group.bench_function("footprint_sum_10k", |b| {
+        let footprints: Vec<CarbonFootprint> = (0..10_000)
+            .map(|i| {
+                CarbonFootprint::new(Co2e::from_grams(i as f64), Co2e::from_grams((i * 2) as f64))
+            })
+            .collect();
+        b.iter(|| black_box(footprints.iter().copied().sum::<CarbonFootprint>()))
+    });
+
+    group.bench_function("tracker_record_1k", |b| {
+        b.iter(|| {
+            let tracker = CarbonTracker::new("bench", account);
+            for i in 0..1_000u32 {
+                tracker.record_power(
+                    "gpu0",
+                    MlPhase::OfflineTraining,
+                    Power::from_watts(300.0 + (i % 7) as f64),
+                    TimeSpan::from_secs(1.0),
+                );
+            }
+            black_box(tracker.total_energy())
+        })
+    });
+
+    group.bench_function("trace_energy_10k_samples", |b| {
+        let trace: PowerTrace = (0..10_000)
+            .map(|i| {
+                (
+                    TimeSpan::from_secs(i as f64),
+                    Power::from_watts(200.0 + (i % 100) as f64),
+                )
+            })
+            .collect();
+        b.iter(|| black_box(trace.energy()))
+    });
+
+    group.bench_function("lognormal_sampling_10k", |b| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sustain_core::stats::{LogNormal, Sampler};
+        let dist = LogNormal::from_median_p99(2.96, 125.0).expect("valid calibration");
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            black_box(dist.sample_n(&mut rng, 10_000))
+        })
+    });
+
+    group.bench_function("trace_tree_rollup_256_leaves", |b| {
+        let mut tree = TraceTree::new();
+        for rack in 0..8 {
+            for host in 0..4 {
+                for gpu in 0..8 {
+                    let mut t = PowerTrace::new();
+                    for i in 0..24 {
+                        t.push(
+                            TimeSpan::from_hours(i as f64),
+                            Power::from_watts(250.0 + (i * gpu) as f64),
+                        );
+                    }
+                    tree.insert(format!("r{rack}/h{host}/g{gpu}"), t);
+                }
+            }
+        }
+        b.iter(|| black_box(tree.subtree_energy("")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_accounting);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Benchmarks of the federated-learning simulator and the client-selection
+//! ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sustain_core::units::{DataVolume, TimeSpan};
+use sustain_edge::carbon::EdgeCarbonEstimator;
+use sustain_edge::fl::FlApp;
+use sustain_edge::selection::{simulate_selection, SelectionPolicy};
+
+fn edge_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_sim");
+    group.sample_size(10);
+
+    group.bench_function("fl_round_sim_50x500", |b| {
+        let app = FlApp::new(
+            "bench",
+            50,
+            500,
+            DataVolume::from_bytes(20e6),
+            TimeSpan::from_minutes(4.0),
+        );
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(app.simulate(&mut rng))
+        })
+    });
+
+    group.bench_function("edge_carbon_estimate_25k_clients", |b| {
+        let app = FlApp::new(
+            "bench",
+            50,
+            500,
+            DataVolume::from_bytes(20e6),
+            TimeSpan::from_minutes(4.0),
+        );
+        let log = app.simulate(&mut StdRng::seed_from_u64(2));
+        let estimator = EdgeCarbonEstimator::paper_default();
+        b.iter(|| black_box(estimator.estimate(&log)))
+    });
+
+    for policy in [SelectionPolicy::Random, SelectionPolicy::EnergyAware] {
+        group.bench_function(format!("client_selection_{policy:?}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                black_box(simulate_selection(
+                    &mut rng,
+                    policy,
+                    20,
+                    200,
+                    40,
+                    DataVolume::from_bytes(20e6),
+                    TimeSpan::from_minutes(4.0),
+                ))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, edge_sim);
+criterion_main!(benches);

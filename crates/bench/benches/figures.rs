@@ -1,0 +1,52 @@
+//! Criterion benches: one per reproduced figure — times regenerating each
+//! figure's full series from the simulators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sustain_bench::figs;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig01_growth", |b| {
+        b.iter(|| black_box(figs::fig01_growth::generate()))
+    });
+    group.bench_function("fig02_trends", |b| {
+        b.iter(|| black_box(figs::fig02_trends::generate()))
+    });
+    group.bench_function("fig03_phases", |b| {
+        b.iter(|| black_box(figs::fig03_phases::generate()))
+    });
+    group.bench_function("fig04_operational", |b| {
+        b.iter(|| black_box(figs::fig04_operational::generate()))
+    });
+    group.bench_function("fig05_overall", |b| {
+        b.iter(|| black_box(figs::fig05_overall::generate()))
+    });
+    group.bench_function("fig06_iterative", |b| {
+        b.iter(|| black_box(figs::fig06_iterative::generate()))
+    });
+    group.bench_function("fig07_waterfall", |b| {
+        b.iter(|| black_box(figs::fig07_waterfall::generate()))
+    });
+    group.bench_function("fig08_jevons", |b| {
+        b.iter(|| black_box(figs::fig08_jevons::generate()))
+    });
+    group.bench_function("fig09_utilization", |b| {
+        b.iter(|| black_box(figs::fig09_utilization::generate()))
+    });
+    group.bench_function("fig10_histogram", |b| {
+        b.iter(|| black_box(figs::fig10_histogram::generate()))
+    });
+    group.bench_function("fig11_federated", |b| {
+        b.iter(|| black_box(figs::fig11_federated::generate()))
+    });
+    group.bench_function("fig12_pareto", |b| {
+        b.iter(|| black_box(figs::fig12_pareto::generate()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

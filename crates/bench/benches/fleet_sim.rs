@@ -1,0 +1,89 @@
+//! Benchmarks of the fleet simulator and the carbon-aware scheduling
+//! ablation (FIFO vs carbon-aware, with and without a concurrency cap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sustain_core::intensity::GridRegion;
+use sustain_core::units::{Energy, Fraction, Power, TimeSpan};
+use sustain_fleet::cluster::Cluster;
+use sustain_fleet::datacenter::DataCenter;
+use sustain_fleet::scheduler::{schedule, IntensitySeries, Policy, ScheduledJob};
+use sustain_fleet::sim::FleetSim;
+use sustain_fleet::storage::Battery;
+use sustain_fleet::utilization::UtilizationModel;
+use sustain_workload::training::{JobClass, JobGenerator};
+
+fn fleet_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_sim");
+    group.sample_size(10);
+
+    group.bench_function("hourly_sim_50_servers_30_days", |b| {
+        let sim = FleetSim::new(
+            Cluster::gpu_training(50),
+            DataCenter::hyperscale("dc", GridRegion::UsAverage, Power::from_megawatts(10.0)),
+            JobGenerator::calibrated(JobClass::Research).expect("valid"),
+            UtilizationModel::research_cluster(),
+            40.0,
+            TimeSpan::from_days(30.0),
+        );
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(sim.run(&mut rng))
+        })
+    });
+
+    let jobs: Vec<ScheduledJob> = (0..96)
+        .map(|i| ScheduledJob::new(i, (i % 72) as usize, 2, Energy::from_kilowatt_hours(50.0)))
+        .collect();
+    let series = IntensitySeries::solar_day(4);
+    group.bench_function("schedule_immediate", |b| {
+        b.iter(|| black_box(schedule(&jobs, &series, Policy::Immediate, None)))
+    });
+    group.bench_function("schedule_carbon_aware", |b| {
+        b.iter(|| {
+            black_box(schedule(
+                &jobs,
+                &series,
+                Policy::CarbonAware {
+                    max_delay_hours: 24,
+                },
+                None,
+            ))
+        })
+    });
+    group.bench_function("schedule_carbon_aware_capped", |b| {
+        b.iter(|| {
+            black_box(schedule(
+                &jobs,
+                &series,
+                Policy::CarbonAware {
+                    max_delay_hours: 24,
+                },
+                Some(8),
+            ))
+        })
+    });
+
+    group.bench_function("battery_daily_cycle", |b| {
+        b.iter(|| {
+            let mut battery = Battery::new(
+                Energy::from_megawatt_hours(10.0),
+                Power::from_megawatts(5.0),
+                Fraction::saturating(0.9),
+            );
+            for _ in 0..365 {
+                battery.charge(Power::from_megawatts(4.0), TimeSpan::from_hours(6.0));
+                battery.discharge(Power::from_megawatts(2.0), TimeSpan::from_hours(10.0));
+            }
+            black_box(battery.stored())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fleet_sim);
+criterion_main!(benches);

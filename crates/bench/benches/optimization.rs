@@ -1,0 +1,70 @@
+//! Benchmarks of the optimization passes, including the cache-policy and
+//! quantization ablations DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sustain_core::units::Fraction;
+use sustain_optim::cache::{simulate_cache, CacheEnergyModel, CachePolicy};
+use sustain_optim::pareto::{pareto_frontier, Candidate};
+use sustain_optim::quantization::{quantize_hottest, rm2_like, NumericFormat};
+use sustain_optim::sampling::ProxyEvaluation;
+
+fn optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimization");
+    group.sample_size(10);
+
+    for policy in [CachePolicy::Lru, CachePolicy::Lfu] {
+        group.bench_function(format!("cache_sim_{policy:?}_50k"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                black_box(simulate_cache(
+                    &mut rng,
+                    policy,
+                    1_000,
+                    50_000,
+                    1.1,
+                    50_000,
+                    CacheEnergyModel::paper_default(),
+                ))
+            })
+        });
+    }
+
+    for format in [NumericFormat::Fp16, NumericFormat::Int8] {
+        group.bench_function(format!("quantize_rm2_{format}"), |b| {
+            b.iter(|| {
+                let mut rm2 = rm2_like();
+                black_box(quantize_hottest(
+                    &mut rm2,
+                    format,
+                    Fraction::saturating(0.41),
+                ))
+            })
+        });
+    }
+
+    group.bench_function("pareto_frontier_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        use rand::Rng;
+        let candidates: Vec<Candidate> = (0..10_000)
+            .map(|i| Candidate::new(i, rng.gen::<f64>() * 100.0, rng.gen::<f64>()))
+            .collect();
+        b.iter(|| black_box(pareto_frontier(&candidates)))
+    });
+
+    group.bench_function("proxy_ranking_100_repeats", |b| {
+        let cfg = ProxyEvaluation::paper_default();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            black_box(cfg.mean_tau(&mut rng, Fraction::saturating(0.1), 100))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, optimization);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Prints every reproduced figure/experiment table in paper order.
+
+fn main() {
+    for table in sustain_bench::figs::all() {
+        println!("{table}");
+    }
+}

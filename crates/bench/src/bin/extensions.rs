@@ -1,0 +1,7 @@
+//! Prints the extension-experiment tables (Appendix B / §IV-C design space).
+
+fn main() {
+    for table in sustain_bench::figs::extensions::all() {
+        println!("{table}");
+    }
+}

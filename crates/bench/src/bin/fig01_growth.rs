@@ -1,0 +1,5 @@
+//! Prints the Figure 1 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig01_growth::generate());
+}

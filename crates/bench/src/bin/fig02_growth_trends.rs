@@ -1,0 +1,5 @@
+//! Prints the Figure 2 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig02_trends::generate());
+}

@@ -1,0 +1,5 @@
+//! Prints the Figure 3 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig03_phases::generate());
+}

@@ -1,0 +1,5 @@
+//! Prints the Figure 4 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig04_operational::generate());
+}

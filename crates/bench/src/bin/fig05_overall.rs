@@ -1,0 +1,5 @@
+//! Prints the Figure 5 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig05_overall::generate());
+}

@@ -1,0 +1,5 @@
+//! Prints the Figure 6 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig06_iterative::generate());
+}

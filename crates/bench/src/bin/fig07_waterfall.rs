@@ -1,0 +1,5 @@
+//! Prints the Figure 7 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig07_waterfall::generate());
+}

@@ -1,0 +1,5 @@
+//! Prints the Figure 8 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig08_jevons::generate());
+}

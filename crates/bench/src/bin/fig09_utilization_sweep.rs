@@ -1,0 +1,5 @@
+//! Prints the Figure 9 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig09_utilization::generate());
+}

@@ -1,0 +1,5 @@
+//! Prints the Figure 10 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig10_histogram::generate());
+}

@@ -1,0 +1,5 @@
+//! Prints the Figure 11 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig11_federated::generate());
+}

@@ -1,0 +1,5 @@
+//! Prints the Figure 12 reproduction table.
+
+fn main() {
+    println!("{}", sustain_bench::figs::fig12_pareto::generate());
+}

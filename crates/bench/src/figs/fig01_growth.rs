@@ -1,0 +1,63 @@
+//! Figure 1: cumulative arXiv publications — ML's growth exceeds other
+//! disciplines.
+
+use sustain_workload::growth::{ml_crossover_month, Discipline, PublicationGrowth};
+
+use crate::table::{num, Table};
+
+/// The plotted horizon, in months (a decade).
+pub const HORIZON_MONTHS: u32 = 120;
+
+/// Generates the Figure 1 series: cumulative papers per discipline at
+/// two-year marks, plus the ML crossover points.
+pub fn generate() -> Table {
+    let mut table = Table::new(
+        "Figure 1: cumulative arXiv publications by discipline",
+        &["discipline", "m0", "m24", "m48", "m72", "m96", "m120"],
+    );
+    for d in Discipline::ALL {
+        let g = PublicationGrowth::new(d);
+        let mut cells = vec![d.to_string()];
+        for m in [0u32, 24, 48, 72, 96, 120] {
+            cells.push(num(g.cumulative_at(m), 0));
+        }
+        table.row(&cells);
+    }
+    for d in Discipline::ALL {
+        if d == Discipline::MachineLearning {
+            continue;
+        }
+        match ml_crossover_month(d, HORIZON_MONTHS * 2) {
+            Some(m) => table.claim(format!("ML overtakes {d} at month {m}")),
+            None => table.claim(format!("ML does not overtake {d} within the horizon")),
+        };
+    }
+    table.claim("paper: ML growth exceeds other scientific disciplines");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ml_ends_the_decade_on_top_in_growth() {
+        // ML's cumulative count multiplies far more over the decade than any
+        // other discipline's.
+        let ml = PublicationGrowth::new(Discipline::MachineLearning);
+        let ml_growth = ml.cumulative_at(HORIZON_MONTHS) / ml.cumulative_at(0);
+        for d in Discipline::ALL {
+            if d == Discipline::MachineLearning {
+                continue;
+            }
+            let g = PublicationGrowth::new(d);
+            let growth = g.cumulative_at(HORIZON_MONTHS) / g.cumulative_at(0);
+            assert!(ml_growth > 3.0 * growth, "{d} grows too fast");
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_discipline() {
+        assert_eq!(generate().rows().len(), Discipline::ALL.len());
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 3: model development phases over the hardware life cycle —
+//! capacity splits, RM1 pipeline energy, and fleet electricity growth.
+
+use sustain_core::lifecycle::MlPhase;
+use sustain_core::units::{Energy, Power};
+use sustain_fleet::jevons::ElectricityTrend;
+use sustain_workload::phases::{PhaseCapacitySplit, PipelineEnergySplit};
+
+use crate::table::{num, Table};
+
+/// Generates the Figure 3 table.
+pub fn generate() -> Table {
+    let mut table = Table::new(
+        "Figure 3: phases, pipeline energy, fleet electricity",
+        &["panel", "item", "value"],
+    );
+
+    // Panel (a): 10:20:70 power capacity split over a 100 MW AI fleet.
+    let split = PhaseCapacitySplit::paper_default();
+    let alloc = split.allocate(Power::from_megawatts(100.0));
+    let (exp, train, inf) = alloc.coarse();
+    for (name, p) in [
+        ("experimentation capacity", exp),
+        ("training capacity", train),
+        ("inference capacity", inf),
+    ] {
+        table.row(&["3a".into(), name.into(), p.to_string()]);
+    }
+
+    // Panel (b): RM1 pipeline energy split over 100 MWh.
+    let rm1 = PipelineEnergySplit::rm1();
+    let pipeline = rm1.allocate(Energy::from_megawatt_hours(100.0));
+    table.row(&[
+        "3b".into(),
+        "data processing".into(),
+        pipeline[MlPhase::DataProcessing].to_string(),
+    ]);
+    table.row(&[
+        "3b".into(),
+        "experimentation+training".into(),
+        (pipeline[MlPhase::Experimentation] + pipeline[MlPhase::OfflineTraining]).to_string(),
+    ]);
+    table.row(&[
+        "3b".into(),
+        "inference".into(),
+        pipeline[MlPhase::Inference].to_string(),
+    ]);
+
+    // Panel (c): fleet electricity trend.
+    let trend = ElectricityTrend::facebook_published();
+    for (year, e) in trend.anchors() {
+        table.row(&[
+            "3c".into(),
+            format!("electricity {year}"),
+            format!("{} M MWh", num(e.as_megawatt_hours() / 1e6, 2)),
+        ]);
+    }
+
+    table.claim("paper: capacity 10:20:70 (Exp:Train:Inf); RM1 energy 31:29:40; 7.17M MWh in 2020");
+    table.claim(format!(
+        "measured: mean annual electricity growth {:.2}x",
+        trend.mean_annual_growth()
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_split_sums_to_total() {
+        let alloc = PhaseCapacitySplit::paper_default().allocate(Power::from_megawatts(100.0));
+        assert!((alloc.total().as_megawatts() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_rows_reflect_31_29_40() {
+        let t = generate();
+        let data_row = t
+            .rows()
+            .iter()
+            .find(|r| r[1] == "data processing")
+            .expect("data row");
+        assert!(data_row[2].contains("31"));
+    }
+
+    #[test]
+    fn electricity_rows_cover_2016_to_2020() {
+        let t = generate();
+        for year in 2016..=2020 {
+            assert!(t
+                .rows()
+                .iter()
+                .any(|r| r[1] == format!("electricity {year}")));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 5: overall (operational + embodied) footprint, grid vs carbon-free.
+
+use sustain_workload::models::ProductionModel;
+
+use crate::table::{num, Table};
+
+/// Generates the Figure 5 table.
+pub fn generate() -> Table {
+    let mut table = Table::new(
+        "Figure 5: overall carbon footprint with embodied carbon (tCO2e)",
+        &[
+            "model",
+            "operational",
+            "embodied",
+            "total",
+            "embodied share",
+            "cfe total",
+            "cfe embodied share",
+        ],
+    );
+    for m in ProductionModel::ALL {
+        let grid = m.overall_footprint();
+        let cfe = m.overall_footprint_cfe();
+        table.row(&[
+            m.to_string(),
+            num(grid.operational().as_tonnes(), 0),
+            num(grid.embodied().as_tonnes(), 0),
+            num(grid.total().as_tonnes(), 0),
+            format!("{:.0}%", grid.embodied_share().as_percent()),
+            num(cfe.total().as_tonnes(), 0),
+            format!("{:.0}%", cfe.embodied_share().as_percent()),
+        ]);
+    }
+    table.claim("paper: embodied ~= 50% of location-based operational; split ~30/70");
+    table.claim("paper: with carbon-free energy, manufacturing dominates");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embodied_is_half_of_operational() {
+        for m in ProductionModel::ALL {
+            let fp = m.overall_footprint();
+            let ratio = fp.embodied() / fp.operational();
+            assert!((ratio - 0.5).abs() < 1e-9, "{m} ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn cfe_flips_dominance() {
+        for m in ProductionModel::ALL {
+            assert!(m.overall_footprint().operational_share().value() > 0.5);
+            assert!(m.overall_footprint_cfe().embodied_share().value() > 0.5);
+        }
+    }
+
+    #[test]
+    fn six_rows() {
+        assert_eq!(generate().rows().len(), 6);
+    }
+}

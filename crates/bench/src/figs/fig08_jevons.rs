@@ -1,0 +1,51 @@
+//! Figure 8: Jevons' paradox — efficiency gains vs demand growth.
+
+use sustain_core::units::TimeSpan;
+use sustain_fleet::jevons::JevonsModel;
+
+use crate::table::{num, Table};
+
+/// Generates the Figure 8 series.
+pub fn generate() -> Table {
+    let model = JevonsModel::paper_default();
+    let mut table = Table::new(
+        "Figure 8: efficiency vs demand over two years",
+        &[
+            "half-years",
+            "efficiency factor",
+            "demand factor",
+            "net power factor",
+        ],
+    );
+    for p in model.series(4) {
+        table.row(&[
+            num(p.years * 2.0, 0),
+            num(p.efficiency_factor, 3),
+            num(p.demand_factor, 3),
+            num(p.net_power_factor, 3),
+        ]);
+    }
+    let net = model.net_power_factor(TimeSpan::from_years(2.0));
+    table.claim(format!(
+        "net reduction over 2y: {:.1}% (paper: 28.5%)",
+        (1.0 - net) * 100.0
+    ));
+    table.claim("paper: demand growth erodes most of the 0.8^4 efficiency gain");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_matches_paper() {
+        let net = JevonsModel::paper_default().net_power_factor(TimeSpan::from_years(2.0));
+        assert!((1.0 - net - 0.285).abs() < 1e-6);
+    }
+
+    #[test]
+    fn series_has_five_points() {
+        assert_eq!(generate().rows().len(), 5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 9: carbon footprint vs accelerator utilization, grid vs
+//! carbon-free energy.
+
+use sustain_core::embodied::EmbodiedModel;
+use sustain_core::intensity::CarbonIntensity;
+use sustain_core::operational::OperationalAccount;
+use sustain_core::pue::Pue;
+use sustain_core::units::{Fraction, TimeSpan};
+use sustain_fleet::utilization::UtilizationSweep;
+use sustain_telemetry::device::DeviceSpec;
+
+use crate::table::{num, Table};
+
+/// The utilization grid swept (30 % baseline up to 100 %).
+pub const UTILIZATIONS: [f64; 8] = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Builds the sweep used by the figure.
+pub fn sweep() -> UtilizationSweep {
+    UtilizationSweep::new(
+        DeviceSpec::V100.power_model(),
+        TimeSpan::from_days(300.0),
+        OperationalAccount::new(
+            CarbonIntensity::US_AVERAGE_2021,
+            Pue::new(1.1).expect("valid PUE"),
+        ),
+        EmbodiedModel::gpu_server().expect("paper constants are valid"),
+    )
+}
+
+/// Generates the Figure 9 table.
+pub fn generate() -> Table {
+    let sweep = sweep();
+    let mut table = Table::new(
+        "Figure 9: LM training footprint vs GPU utilization (tCO2e)",
+        &[
+            "utilization",
+            "grid op",
+            "grid emb",
+            "grid total",
+            "cfe total",
+            "cfe emb share",
+        ],
+    );
+    for p in sweep.over(&UTILIZATIONS) {
+        table.row(&[
+            format!("{:.0}%", p.utilization.as_percent()),
+            num(p.grid.operational().as_tonnes(), 2),
+            num(p.grid.embodied().as_tonnes(), 2),
+            num(p.grid.total().as_tonnes(), 2),
+            num(p.carbon_free.total().as_tonnes(), 2),
+            format!("{:.0}%", p.carbon_free.embodied_share().as_percent()),
+        ]);
+    }
+    let low = sweep.at(Fraction::saturating(0.3));
+    let high = sweep.at(Fraction::saturating(0.8));
+    table.claim(format!(
+        "30% -> 80% utilization shrinks total by {:.1}x (paper: ~3x)",
+        low.grid.total() / high.grid.total()
+    ));
+    table.claim(format!(
+        "carbon-free energy shrinks the 80% point by a further {:.1}x (paper: ~2x)",
+        high.grid.total() / high.carbon_free.total()
+    ));
+    table.claim("paper: under CFE, embodied carbon dominates");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_sweep_claims() {
+        let s = sweep();
+        let low = s.at(Fraction::saturating(0.3));
+        let high = s.at(Fraction::saturating(0.8));
+        let ratio = low.grid.total() / high.grid.total();
+        assert!(ratio > 2.0 && ratio < 3.5, "ratio {ratio}");
+        let cfe_factor = high.grid.total() / high.carbon_free.total();
+        assert!(cfe_factor > 1.5, "cfe factor {cfe_factor}");
+        assert!(high.carbon_free.embodied_share().value() > 0.5);
+    }
+
+    #[test]
+    fn table_covers_the_grid() {
+        assert_eq!(generate().rows().len(), UTILIZATIONS.len());
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 10: the GPU-utilization histogram of research experimentation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sustain_fleet::utilization::UtilizationModel;
+
+use crate::table::{num, Table};
+use crate::SEED;
+
+/// Workflows sampled for the histogram (the paper: "tens of thousands").
+pub const WORKFLOWS: usize = 50_000;
+
+/// Generates the Figure 10 histogram.
+pub fn generate() -> Table {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let h = UtilizationModel::research_cluster().histogram(&mut rng, WORKFLOWS);
+    let mut table = Table::new(
+        "Figure 10: GPU utilization of model experimentation workflows",
+        &["utilization bin", "workflows", "share"],
+    );
+    let total = h.total() as f64;
+    for (lo, hi, count) in h.bins() {
+        table.row(&[
+            format!("{:.0}-{:.0}%", lo * 100.0, hi * 100.0),
+            count.to_string(),
+            format!("{}%", num(count as f64 / total * 100.0, 1)),
+        ]);
+    }
+    table.claim(format!(
+        "30-50% band holds {:.0}% of workflows (paper: the vast majority at 30-50%)",
+        h.mass_between(0.3, 0.5) * 100.0
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_to_fifty_band_dominates() {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        let h = UtilizationModel::research_cluster().histogram(&mut rng, WORKFLOWS);
+        assert!(h.mass_between(0.3, 0.5) > 0.55);
+        // And high utilization is rare.
+        assert!(h.mass_between(0.7, 1.0) < 0.05);
+    }
+
+    #[test]
+    fn ten_bins() {
+        assert_eq!(generate().rows().len(), 10);
+    }
+}

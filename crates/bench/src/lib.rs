@@ -1,0 +1,18 @@
+//! # sustain-bench
+//!
+//! The reproduction harness: one module per figure of Wu et al. (MLSys 2022),
+//! each regenerating the figure's series/rows from the workspace's simulators
+//! and models. The `fig*` binaries print the tables; the Criterion benches
+//! time the generators; `EXPERIMENTS.md` records paper-vs-measured values.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod figs;
+pub mod table;
+
+pub use table::Table;
+
+/// The deterministic seed used by every figure generator, so printed outputs
+/// are reproducible run to run.
+pub const SEED: u64 = 0x5AB1E_CA4B0;

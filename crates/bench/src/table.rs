@@ -1,0 +1,133 @@
+//! A minimal aligned-text table for figure output.
+
+use std::fmt;
+
+/// A printable table: title, column headers, string rows, and free-form
+/// claim lines ("paper: X, measured: Y") appended below.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    claims: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+            claims: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Appends a claim line shown below the table.
+    pub fn claim(&mut self, line: impl Into<String>) -> &mut Table {
+        self.claims.push(line.into());
+        self
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The claim lines.
+    pub fn claims(&self) -> &[String] {
+        &self.claims
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let widths = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            writeln!(f, "  {}", line.join("  "))
+        };
+        render(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "  {}", rule.join("  "))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        for claim in &self.claims {
+            writeln!(f, "  * {claim}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` decimals (helper for row building).
+pub fn num(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1.0".into()]);
+        t.row(&["longer-name".into(), "2.5".into()]);
+        t.claim("paper: 2x, measured: 2.5x");
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer-name"));
+        assert!(s.contains("* paper: 2x"));
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.claims().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_wrong_arity() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(1.2345, 2), "1.23");
+        assert_eq!(num(1000.0, 0), "1000");
+    }
+}

@@ -1,0 +1,454 @@
+//! Embodied (manufacturing) carbon and its amortization over hardware life.
+//!
+//! The paper's methodology (§III-A): a GPU training server is assumed to carry
+//! the production footprint of Apple's 28-core Mac Pro with dual GPUs —
+//! **2000 kg CO₂e** — and a CPU-only server half of that. Servers live 3–5
+//! years at 30–60 % average utilization. Every workload inherits a slice of
+//! this upfront cost; how the slice is computed is an explicit policy choice:
+//!
+//! * [`AllocationPolicy::TimeShare`] — a job occupying a machine for time `t`
+//!   inherits `total × t / lifetime`, idle or not.
+//! * [`AllocationPolicy::UsageShare`] — the entire embodied cost is allocated
+//!   across the machine's *expected useful* hours (`lifetime × expected
+//!   utilization`), so a fleet running at 30 % utilization pays ~3.3× the
+//!   embodied carbon per useful hour of a fully-utilized one. This is the
+//!   mechanism behind Figure 9's utilization sweep.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::units::{Co2e, Fraction, TimeSpan};
+
+/// Embodied carbon of a deployed system and the parameters needed to amortize it.
+///
+/// ```rust
+/// use sustain_core::embodied::{AllocationPolicy, EmbodiedModel};
+/// use sustain_core::units::{Co2e, Fraction, TimeSpan};
+///
+/// # fn main() -> Result<(), sustain_core::Error> {
+/// let server = EmbodiedModel::gpu_server()?;
+/// // One GPU-month of work on a time-share basis:
+/// let slice = server.amortize(TimeSpan::from_days(30.0), AllocationPolicy::TimeShare)?;
+/// assert!(slice.as_kilograms() > 30.0 && slice.as_kilograms() < 50.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmbodiedModel {
+    total: Co2e,
+    lifetime: TimeSpan,
+    expected_utilization: Fraction,
+}
+
+/// How embodied carbon is attributed to workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// Attribute by wall-clock occupancy: `total × span / lifetime`.
+    #[default]
+    TimeShare,
+    /// Attribute by useful work: `total × busy_span / (lifetime × expected_utilization)`.
+    /// Low fleet utilization inflates every job's share.
+    UsageShare,
+}
+
+impl fmt::Display for AllocationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationPolicy::TimeShare => f.write_str("time-share"),
+            AllocationPolicy::UsageShare => f.write_str("usage-share"),
+        }
+    }
+}
+
+impl EmbodiedModel {
+    /// Creates a model from its parts.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NegativeQuantity`] if `total` is negative.
+    /// * [`Error::ZeroDuration`] if `lifetime` is not positive.
+    /// * [`Error::FractionOutOfRange`] if `expected_utilization` is zero
+    ///   (a machine expected to never be used cannot amortize anything).
+    pub fn new(
+        total: Co2e,
+        lifetime: TimeSpan,
+        expected_utilization: Fraction,
+    ) -> Result<EmbodiedModel> {
+        let total = total.validated()?;
+        if lifetime.as_secs() <= 0.0 {
+            return Err(Error::ZeroDuration("hardware lifetime"));
+        }
+        if expected_utilization.value() <= 0.0 {
+            return Err(Error::FractionOutOfRange {
+                name: "expected utilization",
+                value: expected_utilization.value(),
+            });
+        }
+        Ok(EmbodiedModel {
+            total,
+            lifetime,
+            expected_utilization,
+        })
+    }
+
+    /// The paper's default GPU training server: 2000 kg CO₂e, 4-year lifetime,
+    /// 45 % average utilization (midpoints of the 3–5 y and 30–60 % ranges).
+    pub fn gpu_server() -> Result<EmbodiedModel> {
+        EmbodiedModel::new(
+            Co2e::from_kilograms(2000.0),
+            TimeSpan::from_years(4.0),
+            Fraction::new(0.45)?,
+        )
+    }
+
+    /// The paper's CPU-only server: half the GPU server's embodied emissions.
+    pub fn cpu_server() -> Result<EmbodiedModel> {
+        EmbodiedModel::new(
+            Co2e::from_kilograms(1000.0),
+            TimeSpan::from_years(4.0),
+            Fraction::new(0.45)?,
+        )
+    }
+
+    /// Total manufacturing footprint.
+    pub fn total(&self) -> Co2e {
+        self.total
+    }
+
+    /// Expected service lifetime.
+    pub fn lifetime(&self) -> TimeSpan {
+        self.lifetime
+    }
+
+    /// Expected average utilization over the lifetime.
+    pub fn expected_utilization(&self) -> Fraction {
+        self.expected_utilization
+    }
+
+    /// Returns a copy with a different expected utilization — the knob swept
+    /// in Figure 9.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FractionOutOfRange`] if `utilization` is zero.
+    pub fn with_expected_utilization(&self, utilization: Fraction) -> Result<EmbodiedModel> {
+        EmbodiedModel::new(self.total, self.lifetime, utilization)
+    }
+
+    /// Returns a copy with a different lifetime (life-extension scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroDuration`] if `lifetime` is not positive.
+    pub fn with_lifetime(&self, lifetime: TimeSpan) -> Result<EmbodiedModel> {
+        EmbodiedModel::new(self.total, lifetime, self.expected_utilization)
+    }
+
+    /// Amortized embodied carbon for a span of machine time under a policy.
+    ///
+    /// For [`AllocationPolicy::TimeShare`], `span` is wall-clock occupancy.
+    /// For [`AllocationPolicy::UsageShare`], `span` is busy (useful) time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NegativeQuantity`] if `span` is negative.
+    pub fn amortize(&self, span: TimeSpan, policy: AllocationPolicy) -> Result<Co2e> {
+        if span.as_secs() < 0.0 {
+            return Err(Error::NegativeQuantity {
+                quantity: "amortization span",
+                value: span.as_secs(),
+            });
+        }
+        let share = match policy {
+            AllocationPolicy::TimeShare => span / self.lifetime,
+            AllocationPolicy::UsageShare => {
+                span / self.lifetime / self.expected_utilization.value()
+            }
+        };
+        Ok(self.total * share)
+    }
+
+    /// The embodied-carbon *rate* (gCO₂e per second of useful work) under a policy.
+    pub fn rate(&self, policy: AllocationPolicy) -> Co2e {
+        self.amortize(TimeSpan::from_secs(1.0), policy)
+            .expect("1 second is a valid span")
+    }
+}
+
+/// A named hardware component with an embodied footprint, for building
+/// system-level inventories (the paper notes per-component footprints can be
+/// orders of magnitude apart across CMOS/DDRx/HBM/SSD/HDD generations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Component {
+    /// Host CPU package(s).
+    Cpu,
+    /// Training/inference accelerator (GPU, TPU, ASIC).
+    Accelerator,
+    /// DRAM.
+    Dram,
+    /// High-bandwidth memory stacks on accelerators.
+    Hbm,
+    /// NAND-flash SSD.
+    Ssd,
+    /// Spinning disk.
+    Hdd,
+    /// Mainboard, chassis, PSU, NIC and everything else.
+    Platform,
+}
+
+impl Component {
+    /// All components, in declaration order.
+    pub const ALL: [Component; 7] = [
+        Component::Cpu,
+        Component::Accelerator,
+        Component::Dram,
+        Component::Hbm,
+        Component::Ssd,
+        Component::Hdd,
+        Component::Platform,
+    ];
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Component::Cpu => "cpu",
+            Component::Accelerator => "accelerator",
+            Component::Dram => "dram",
+            Component::Hbm => "hbm",
+            Component::Ssd => "ssd",
+            Component::Hdd => "hdd",
+            Component::Platform => "platform",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A per-component embodied-carbon inventory for one system.
+///
+/// ```rust
+/// use sustain_core::embodied::{Component, ComponentInventory};
+/// use sustain_core::units::Co2e;
+///
+/// let mut inv = ComponentInventory::new();
+/// inv.set(Component::Accelerator, Co2e::from_kilograms(600.0));
+/// inv.set(Component::Ssd, Co2e::from_kilograms(320.0));
+/// assert_eq!(inv.total(), Co2e::from_kilograms(920.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ComponentInventory {
+    parts: BTreeMap<Component, Co2e>,
+}
+
+impl ComponentInventory {
+    /// Creates an empty inventory.
+    pub fn new() -> ComponentInventory {
+        ComponentInventory::default()
+    }
+
+    /// A representative GPU training server (sums to the paper's 2000 kg):
+    /// dominated by accelerators, memory and flash — consistent with the
+    /// "Chasing Carbon" observation that memory/storage dominate embodied cost.
+    pub fn gpu_server() -> ComponentInventory {
+        let mut inv = ComponentInventory::new();
+        inv.set(Component::Cpu, Co2e::from_kilograms(120.0));
+        inv.set(Component::Accelerator, Co2e::from_kilograms(640.0));
+        inv.set(Component::Dram, Co2e::from_kilograms(420.0));
+        inv.set(Component::Hbm, Co2e::from_kilograms(260.0));
+        inv.set(Component::Ssd, Co2e::from_kilograms(360.0));
+        inv.set(Component::Platform, Co2e::from_kilograms(200.0));
+        inv
+    }
+
+    /// Sets (replaces) a component's footprint.
+    pub fn set(&mut self, component: Component, co2: Co2e) -> &mut ComponentInventory {
+        self.parts.insert(component, co2);
+        self
+    }
+
+    /// The footprint recorded for a component, if any.
+    pub fn get(&self, component: Component) -> Option<Co2e> {
+        self.parts.get(&component).copied()
+    }
+
+    /// Iterates `(component, co2)` entries in component order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, Co2e)> + '_ {
+        self.parts.iter().map(|(c, v)| (*c, *v))
+    }
+
+    /// Total embodied footprint across components.
+    pub fn total(&self) -> Co2e {
+        self.parts.values().copied().sum()
+    }
+
+    /// Share of the total contributed by `component` (0 if absent or empty).
+    pub fn share(&self, component: Component) -> Fraction {
+        let total = self.total();
+        if total.is_zero() {
+            return Fraction::ZERO;
+        }
+        Fraction::saturating(self.get(component).unwrap_or(Co2e::ZERO) / total)
+    }
+
+    /// Converts the inventory into an [`EmbodiedModel`] with the given
+    /// lifetime and expected utilization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EmbodiedModel::new`] validation errors.
+    pub fn into_model(
+        self,
+        lifetime: TimeSpan,
+        expected_utilization: Fraction,
+    ) -> Result<EmbodiedModel> {
+        EmbodiedModel::new(self.total(), lifetime, expected_utilization)
+    }
+}
+
+impl FromIterator<(Component, Co2e)> for ComponentInventory {
+    fn from_iter<I: IntoIterator<Item = (Component, Co2e)>>(iter: I) -> ComponentInventory {
+        let mut inv = ComponentInventory::new();
+        for (c, v) in iter {
+            inv.set(c, v);
+        }
+        inv
+    }
+}
+
+impl Extend<(Component, Co2e)> for ComponentInventory {
+    fn extend<I: IntoIterator<Item = (Component, Co2e)>>(&mut self, iter: I) {
+        for (c, v) in iter {
+            self.set(c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_server_matches_paper_constants() {
+        let m = EmbodiedModel::gpu_server().unwrap();
+        assert_eq!(m.total(), Co2e::from_kilograms(2000.0));
+        let cpu = EmbodiedModel::cpu_server().unwrap();
+        assert_eq!(cpu.total(), Co2e::from_kilograms(1000.0));
+        // CPU-only is half of GPU, per the paper.
+        assert!((cpu.total() / m.total() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_share_amortization_is_linear() {
+        let m = EmbodiedModel::gpu_server().unwrap();
+        let year = m
+            .amortize(TimeSpan::from_years(1.0), AllocationPolicy::TimeShare)
+            .unwrap();
+        assert!((year.as_kilograms() - 500.0).abs() < 1e-9, "2000kg / 4y");
+        let full = m
+            .amortize(m.lifetime(), AllocationPolicy::TimeShare)
+            .unwrap();
+        assert!((full / m.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_share_inflates_with_low_utilization() {
+        let m = EmbodiedModel::gpu_server().unwrap();
+        let low = m
+            .with_expected_utilization(Fraction::new(0.3).unwrap())
+            .unwrap();
+        let high = m
+            .with_expected_utilization(Fraction::new(0.9).unwrap())
+            .unwrap();
+        let day = TimeSpan::from_days(1.0);
+        let low_cost = low.amortize(day, AllocationPolicy::UsageShare).unwrap();
+        let high_cost = high.amortize(day, AllocationPolicy::UsageShare).unwrap();
+        // 3× utilization improvement ⇒ 3× lower embodied per busy day (Fig 9).
+        assert!((low_cost / high_cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_share_exceeds_time_share_when_underutilized() {
+        let m = EmbodiedModel::gpu_server().unwrap();
+        let day = TimeSpan::from_days(1.0);
+        let usage = m.amortize(day, AllocationPolicy::UsageShare).unwrap();
+        let time = m.amortize(day, AllocationPolicy::TimeShare).unwrap();
+        assert!(usage > time);
+        assert!((usage / time - 1.0 / 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longer_lifetime_lowers_rate() {
+        let m = EmbodiedModel::gpu_server().unwrap();
+        let extended = m.with_lifetime(TimeSpan::from_years(8.0)).unwrap();
+        assert!(extended.rate(AllocationPolicy::TimeShare) < m.rate(AllocationPolicy::TimeShare));
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(EmbodiedModel::new(
+            Co2e::from_kilograms(-1.0),
+            TimeSpan::from_years(1.0),
+            Fraction::new(0.5).unwrap()
+        )
+        .is_err());
+        assert!(EmbodiedModel::new(
+            Co2e::from_kilograms(1.0),
+            TimeSpan::ZERO,
+            Fraction::new(0.5).unwrap()
+        )
+        .is_err());
+        assert!(EmbodiedModel::new(
+            Co2e::from_kilograms(1.0),
+            TimeSpan::from_years(1.0),
+            Fraction::ZERO
+        )
+        .is_err());
+        let m = EmbodiedModel::gpu_server().unwrap();
+        assert!(m
+            .amortize(TimeSpan::from_secs(-1.0), AllocationPolicy::TimeShare)
+            .is_err());
+    }
+
+    #[test]
+    fn component_inventory_totals_and_shares() {
+        let inv = ComponentInventory::gpu_server();
+        assert_eq!(inv.total(), Co2e::from_kilograms(2000.0));
+        // Accelerators are the single biggest component here.
+        for c in Component::ALL {
+            assert!(inv.share(c) <= inv.share(Component::Accelerator));
+        }
+        let shares: f64 = Component::ALL.iter().map(|c| inv.share(*c).value()).sum();
+        assert!((shares - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inventory_has_zero_share() {
+        let inv = ComponentInventory::new();
+        assert!(inv.total().is_zero());
+        assert_eq!(inv.share(Component::Cpu), Fraction::ZERO);
+    }
+
+    #[test]
+    fn inventory_collects_and_extends() {
+        let mut inv: ComponentInventory = vec![
+            (Component::Cpu, Co2e::from_kilograms(10.0)),
+            (Component::Dram, Co2e::from_kilograms(20.0)),
+        ]
+        .into_iter()
+        .collect();
+        inv.extend([(Component::Ssd, Co2e::from_kilograms(5.0))]);
+        assert_eq!(inv.total(), Co2e::from_kilograms(35.0));
+        assert_eq!(inv.iter().count(), 3);
+    }
+
+    #[test]
+    fn inventory_into_model() {
+        let m = ComponentInventory::gpu_server()
+            .into_model(TimeSpan::from_years(4.0), Fraction::new(0.45).unwrap())
+            .unwrap();
+        assert_eq!(m.total(), Co2e::from_kilograms(2000.0));
+    }
+}

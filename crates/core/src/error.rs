@@ -1,0 +1,104 @@
+use std::fmt;
+
+/// Convenience alias for results returned by this workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the sustain-core accounting primitives.
+///
+/// All variants carry enough context to diagnose the offending input without
+/// needing a debugger; the `Display` implementation renders a concise,
+/// lowercase message per Rust API guidelines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A physical quantity was negative where only non-negative values make sense.
+    NegativeQuantity {
+        /// Human-readable name of the quantity (e.g. `"energy"`).
+        quantity: &'static str,
+        /// The offending value in the quantity's base unit.
+        value: f64,
+    },
+    /// A quantity was NaN or infinite.
+    NonFiniteQuantity {
+        /// Human-readable name of the quantity.
+        quantity: &'static str,
+    },
+    /// A PUE below 1.0 was supplied; by definition total facility energy is at
+    /// least the IT energy, so PUE ≥ 1.
+    InvalidPue(f64),
+    /// A fraction (share, utilization, hit-rate, …) fell outside `[0, 1]`.
+    FractionOutOfRange {
+        /// Human-readable name of the fraction.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An energy-mix's shares did not sum to 1 within tolerance.
+    MixNotNormalized {
+        /// The actual sum of the shares.
+        sum: f64,
+    },
+    /// An empty collection was supplied where at least one element is required.
+    Empty(&'static str),
+    /// A lifetime or duration of zero was supplied where a positive span is required.
+    ZeroDuration(&'static str),
+    /// A distribution parameter was invalid (e.g. non-positive sigma).
+    InvalidDistribution {
+        /// Name of the distribution.
+        distribution: &'static str,
+        /// Description of the problem.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NegativeQuantity { quantity, value } => {
+                write!(f, "{quantity} must be non-negative, got {value}")
+            }
+            Error::NonFiniteQuantity { quantity } => {
+                write!(f, "{quantity} must be finite")
+            }
+            Error::InvalidPue(v) => write!(f, "pue must be at least 1.0, got {v}"),
+            Error::FractionOutOfRange { name, value } => {
+                write!(f, "{name} must lie in [0, 1], got {value}")
+            }
+            Error::MixNotNormalized { sum } => {
+                write!(f, "energy mix shares must sum to 1, got {sum}")
+            }
+            Error::Empty(what) => write!(f, "{what} must not be empty"),
+            Error::ZeroDuration(what) => write!(f, "{what} must be positive"),
+            Error::InvalidDistribution {
+                distribution,
+                reason,
+            } => write!(f, "invalid {distribution} distribution: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::InvalidPue(0.5);
+        let msg = e.to_string();
+        assert!(msg.starts_with("pue"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Error::Empty("set")).is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Operational-carbon accounting: energy × PUE × carbon intensity, with
+//! renewable matching and offsets.
+//!
+//! This module implements the paper's operational methodology (§III-A):
+//! measure total IT energy, apply a datacenter PUE (1.1 for the Facebook fleet),
+//! and convert with a location-based carbon intensity. Market-based figures
+//! subtract contractually-matched renewable energy and purchased offsets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::intensity::{AccountingBasis, CarbonIntensity};
+use crate::pue::Pue;
+use crate::units::{Co2e, Energy, Fraction};
+
+/// An operational-emissions calculator for one facility/grid configuration.
+///
+/// ```rust
+/// use sustain_core::operational::OperationalAccount;
+/// use sustain_core::intensity::CarbonIntensity;
+/// use sustain_core::pue::Pue;
+/// use sustain_core::units::{Energy, Fraction};
+///
+/// # fn main() -> Result<(), sustain_core::Error> {
+/// let account = OperationalAccount::new(CarbonIntensity::from_grams_per_kwh(400.0), Pue::new(1.1)?)
+///     .with_renewable_matching(Fraction::new(1.0)?);
+/// let it = Energy::from_megawatt_hours(1.0);
+/// // Location-based: 1 MWh × 1.1 × 400 g/kWh = 440 kg.
+/// assert!((account.location_based(it).as_kilograms() - 440.0).abs() < 1e-6);
+/// // Market-based with 100% matching: zero.
+/// assert!(account.market_based(it).is_zero());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperationalAccount {
+    intensity: CarbonIntensity,
+    pue: Pue,
+    renewable_matching: Fraction,
+    offsets: Co2e,
+}
+
+impl OperationalAccount {
+    /// Creates an account for a grid intensity and facility PUE, with no
+    /// renewable matching or offsets.
+    pub fn new(intensity: CarbonIntensity, pue: Pue) -> OperationalAccount {
+        OperationalAccount {
+            intensity,
+            pue,
+            renewable_matching: Fraction::ZERO,
+            offsets: Co2e::ZERO,
+        }
+    }
+
+    /// Sets the fraction of consumption matched with contractual renewable
+    /// energy (PPAs/RECs). Facebook's program reaches 100 %.
+    pub fn with_renewable_matching(mut self, fraction: Fraction) -> OperationalAccount {
+        self.renewable_matching = fraction;
+        self
+    }
+
+    /// Sets an absolute amount of purchased offsets subtracted from the
+    /// market-based figure.
+    pub fn with_offsets(mut self, offsets: Co2e) -> OperationalAccount {
+        self.offsets = offsets;
+        self
+    }
+
+    /// The configured grid intensity.
+    pub fn intensity(&self) -> CarbonIntensity {
+        self.intensity
+    }
+
+    /// The configured facility PUE.
+    pub fn pue(&self) -> Pue {
+        self.pue
+    }
+
+    /// The configured renewable-matching fraction.
+    pub fn renewable_matching(&self) -> Fraction {
+        self.renewable_matching
+    }
+
+    /// Total facility energy (IT energy grossed up by PUE).
+    pub fn facility_energy(&self, it_energy: Energy) -> Energy {
+        self.pue.facility_energy(it_energy)
+    }
+
+    /// Location-based operational emissions for an IT energy consumption.
+    pub fn location_based(&self, it_energy: Energy) -> Co2e {
+        self.intensity.emissions(self.facility_energy(it_energy))
+    }
+
+    /// Market-based operational emissions: location-based, minus the matched
+    /// renewable share, minus offsets. Can go negative if offsets exceed the
+    /// residual (over-offsetting).
+    pub fn market_based(&self, it_energy: Energy) -> Co2e {
+        self.location_based(it_energy) * self.renewable_matching.complement().value() - self.offsets
+    }
+
+    /// Emissions under the requested basis.
+    pub fn emissions(&self, it_energy: Energy, basis: AccountingBasis) -> Co2e {
+        match basis {
+            AccountingBasis::LocationBased => self.location_based(it_energy),
+            AccountingBasis::MarketBased => self.market_based(it_energy),
+        }
+    }
+
+    /// The effective carbon intensity seen by the workload under a basis
+    /// (facility-level, i.e. including PUE), in gCO₂e per IT kWh.
+    pub fn effective_intensity(&self, basis: AccountingBasis) -> CarbonIntensity {
+        let per_kwh = self
+            .emissions(Energy::from_kilowatt_hours(1.0), basis)
+            .as_grams();
+        CarbonIntensity::from_grams_per_kwh(per_kwh.max(0.0))
+    }
+}
+
+/// Convenience: emissions of running a constant power draw for a span of time.
+///
+/// ```rust
+/// use sustain_core::operational::{constant_load_emissions, OperationalAccount};
+/// use sustain_core::intensity::CarbonIntensity;
+/// use sustain_core::pue::Pue;
+/// use sustain_core::units::{Power, TimeSpan};
+///
+/// # fn main() -> Result<(), sustain_core::Error> {
+/// let account = OperationalAccount::new(CarbonIntensity::US_AVERAGE_2021, Pue::new(1.1)?);
+/// let co2 = constant_load_emissions(
+///     &account,
+///     Power::from_watts(300.0),
+///     TimeSpan::from_days(10.0),
+/// );
+/// assert!(co2.as_kilograms() > 30.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn constant_load_emissions(
+    account: &OperationalAccount,
+    power: crate::units::Power,
+    duration: crate::units::TimeSpan,
+) -> Co2e {
+    account.location_based(power * duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Power, TimeSpan};
+
+    fn account() -> OperationalAccount {
+        OperationalAccount::new(
+            CarbonIntensity::from_grams_per_kwh(500.0),
+            Pue::new(1.2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn location_based_applies_pue() {
+        let co2 = account().location_based(Energy::from_kilowatt_hours(10.0));
+        // 10 kWh × 1.2 × 500 g = 6 kg
+        assert!((co2.as_kilograms() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn market_based_scales_with_matching() {
+        let acct = account().with_renewable_matching(Fraction::new(0.75).unwrap());
+        let it = Energy::from_kilowatt_hours(10.0);
+        let loc = acct.location_based(it);
+        let market = acct.market_based(it);
+        assert!((market.as_grams() - loc.as_grams() * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offsets_can_drive_market_based_negative() {
+        let acct = account().with_offsets(Co2e::from_kilograms(100.0));
+        let market = acct.market_based(Energy::from_kilowatt_hours(10.0));
+        assert!(market < Co2e::ZERO);
+    }
+
+    #[test]
+    fn emissions_dispatches_on_basis() {
+        let acct = account().with_renewable_matching(Fraction::ONE);
+        let it = Energy::from_kilowatt_hours(1.0);
+        assert!(acct.emissions(it, AccountingBasis::MarketBased).is_zero());
+        assert!(!acct.emissions(it, AccountingBasis::LocationBased).is_zero());
+    }
+
+    #[test]
+    fn effective_intensity_includes_pue() {
+        let eff = account().effective_intensity(AccountingBasis::LocationBased);
+        assert!((eff.as_grams_per_kwh() - 600.0).abs() < 1e-9);
+        // Fully matched market-based intensity is zero (clamped, not negative).
+        let acct = account()
+            .with_renewable_matching(Fraction::ONE)
+            .with_offsets(Co2e::from_kilograms(1.0));
+        assert_eq!(
+            acct.effective_intensity(AccountingBasis::MarketBased)
+                .as_grams_per_kwh(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn constant_load_helper_matches_manual_math() {
+        let acct = account();
+        let via_helper =
+            constant_load_emissions(&acct, Power::from_watts(100.0), TimeSpan::from_hours(10.0));
+        let manual = acct.location_based(Energy::from_kilowatt_hours(1.0));
+        assert_eq!(via_helper, manual);
+    }
+
+    #[test]
+    fn zero_energy_is_zero_emissions() {
+        assert!(account().location_based(Energy::ZERO).is_zero());
+        assert!(account().market_based(Energy::ZERO).is_zero());
+    }
+}

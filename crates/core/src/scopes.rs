@@ -1,0 +1,154 @@
+//! GHG-protocol scope ledger (Scope 1 / 2 / 3).
+//!
+//! The paper estimates the significance of embodied carbon from Facebook's GHG
+//! statistics: more than 50 % of emissions sit in **Scope 3** (the value chain,
+//! which includes manufacturing of every server brought into the fleet), which
+//! is what makes embodied carbon a first-class concern for AI.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::units::{Co2e, Fraction};
+
+/// A GHG-protocol emissions scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scope {
+    /// Direct emissions (fuel burned on site, fleet vehicles).
+    Scope1,
+    /// Indirect emissions from purchased electricity.
+    Scope2,
+    /// Value-chain emissions: manufacturing, construction, travel, …
+    Scope3,
+}
+
+impl Scope {
+    /// All scopes in order.
+    pub const ALL: [Scope; 3] = [Scope::Scope1, Scope::Scope2, Scope::Scope3];
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Scope1 => f.write_str("scope 1"),
+            Scope::Scope2 => f.write_str("scope 2"),
+            Scope::Scope3 => f.write_str("scope 3"),
+        }
+    }
+}
+
+/// An accumulating ledger of emissions by scope.
+///
+/// ```rust
+/// use sustain_core::scopes::{Scope, ScopeLedger};
+/// use sustain_core::units::Co2e;
+///
+/// let mut ledger = ScopeLedger::new();
+/// ledger.add(Scope::Scope2, Co2e::from_tonnes(40.0));
+/// ledger.add(Scope::Scope3, Co2e::from_tonnes(60.0));
+/// assert!(ledger.share(Scope::Scope3).value() > 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScopeLedger {
+    scope1: Co2e,
+    scope2: Co2e,
+    scope3: Co2e,
+}
+
+impl ScopeLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> ScopeLedger {
+        ScopeLedger::default()
+    }
+
+    /// Adds emissions to a scope.
+    pub fn add(&mut self, scope: Scope, co2: Co2e) -> &mut ScopeLedger {
+        *self.slot(scope) += co2;
+        self
+    }
+
+    /// The emissions recorded for a scope.
+    pub fn get(&self, scope: Scope) -> Co2e {
+        match scope {
+            Scope::Scope1 => self.scope1,
+            Scope::Scope2 => self.scope2,
+            Scope::Scope3 => self.scope3,
+        }
+    }
+
+    /// Total emissions across scopes.
+    pub fn total(&self) -> Co2e {
+        self.scope1 + self.scope2 + self.scope3
+    }
+
+    /// The share of the total in a scope (0 for an empty ledger).
+    pub fn share(&self, scope: Scope) -> Fraction {
+        let total = self.total();
+        if total.is_zero() {
+            return Fraction::ZERO;
+        }
+        Fraction::saturating(self.get(scope) / total)
+    }
+
+    /// Whether the value chain dominates (> 50 % in Scope 3) — the condition
+    /// the paper cites for Facebook's fleet.
+    pub fn value_chain_dominates(&self) -> bool {
+        self.share(Scope::Scope3).value() > 0.5
+    }
+
+    fn slot(&mut self, scope: Scope) -> &mut Co2e {
+        match scope {
+            Scope::Scope1 => &mut self.scope1,
+            Scope::Scope2 => &mut self.scope2,
+            Scope::Scope3 => &mut self.scope3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut l = ScopeLedger::new();
+        l.add(Scope::Scope2, Co2e::from_tonnes(1.0));
+        l.add(Scope::Scope2, Co2e::from_tonnes(2.0));
+        assert_eq!(l.get(Scope::Scope2), Co2e::from_tonnes(3.0));
+        assert_eq!(l.total(), Co2e::from_tonnes(3.0));
+    }
+
+    #[test]
+    fn facebook_like_profile_has_scope3_dominating() {
+        // Paper: "more than 50% of Facebook's emissions owe to its value chain".
+        let mut l = ScopeLedger::new();
+        l.add(Scope::Scope1, Co2e::from_tonnes(20.0));
+        l.add(Scope::Scope2, Co2e::from_tonnes(380.0));
+        l.add(Scope::Scope3, Co2e::from_tonnes(600.0));
+        assert!(l.value_chain_dominates());
+        assert!(l.share(Scope::Scope3).value() > 0.5);
+    }
+
+    #[test]
+    fn empty_ledger_shares_are_zero() {
+        let l = ScopeLedger::new();
+        for s in Scope::ALL {
+            assert_eq!(l.share(s), Fraction::ZERO);
+        }
+        assert!(!l.value_chain_dominates());
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut l = ScopeLedger::new();
+        l.add(Scope::Scope1, Co2e::from_grams(1.0));
+        l.add(Scope::Scope2, Co2e::from_grams(1.0));
+        l.add(Scope::Scope3, Co2e::from_grams(2.0));
+        let sum: f64 = Scope::ALL.iter().map(|s| l.share(*s).value()).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Scope::Scope3.to_string(), "scope 3");
+    }
+}

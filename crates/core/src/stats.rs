@@ -1,0 +1,775 @@
+//! Small statistics toolkit used by the simulators: distributions calibrated
+//! from published percentiles, summary statistics, and histograms.
+//!
+//! The paper reports workload statistics as percentiles ("p50 of ML training
+//! experiments take up to 1.5 GPU-days while p99 complete within 24 GPU-days").
+//! [`LogNormal::from_median_p99`] inverts that parameterization so synthetic
+//! job generators reproduce the published distributions exactly at the
+//! calibration points.
+//!
+//! Implemented here rather than pulling `rand_distr` to keep the workspace's
+//! dependency surface to the approved set.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// z-score of the 99th percentile of the standard normal.
+pub const Z_99: f64 = 2.326_347_874_040_841;
+/// z-score of the 95th percentile of the standard normal.
+pub const Z_95: f64 = 1.644_853_626_951_472;
+
+/// A sampleable distribution over `f64`.
+///
+/// A local trait (rather than `rand::distributions::Distribution`) so the
+/// workspace controls the contract and can implement it for calibrated
+/// domain-specific distributions.
+pub trait Sampler {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draws `n` samples into a vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64>
+    where
+        Self: Sized,
+    {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Normal (Gaussian) distribution, sampled via Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] if `std` is negative or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, std: f64) -> Result<Normal> {
+        if !mean.is_finite() || !std.is_finite() {
+            return Err(Error::InvalidDistribution {
+                distribution: "normal",
+                reason: "parameters must be finite",
+            });
+        }
+        if std < 0.0 {
+            return Err(Error::InvalidDistribution {
+                distribution: "normal",
+                reason: "std must be non-negative",
+            });
+        }
+        Ok(Normal { mean, std })
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+}
+
+impl Sampler for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform; u1 in (0,1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std * z
+    }
+}
+
+/// Log-normal distribution parameterized by the underlying normal's `(mu, sigma)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] if `sigma` is negative or
+    /// parameters are non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal> {
+        if !mu.is_finite() || !sigma.is_finite() {
+            return Err(Error::InvalidDistribution {
+                distribution: "log-normal",
+                reason: "parameters must be finite",
+            });
+        }
+        if sigma < 0.0 {
+            return Err(Error::InvalidDistribution {
+                distribution: "log-normal",
+                reason: "sigma must be non-negative",
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Calibrates a log-normal from its median and 99th percentile — the form
+    /// the paper publishes workload statistics in.
+    ///
+    /// ```rust
+    /// use sustain_core::stats::LogNormal;
+    /// # fn main() -> Result<(), sustain_core::Error> {
+    /// // Research experiments: p50 = 1.5 GPU-days, p99 = 24 GPU-days.
+    /// let d = LogNormal::from_median_p99(1.5, 24.0)?;
+    /// assert!((d.median() - 1.5).abs() < 1e-9);
+    /// assert!((d.p99() - 24.0).abs() < 1e-9);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] unless `0 < median < p99`.
+    pub fn from_median_p99(median: f64, p99: f64) -> Result<LogNormal> {
+        if !(median > 0.0 && p99 > median) {
+            return Err(Error::InvalidDistribution {
+                distribution: "log-normal",
+                reason: "requires 0 < median < p99",
+            });
+        }
+        let mu = median.ln();
+        let sigma = (p99.ln() - mu) / Z_99;
+        LogNormal::new(mu, sigma)
+    }
+
+    /// The distribution's median (`exp(mu)`).
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The distribution's mean (`exp(mu + sigma²/2)`).
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> f64 {
+        (self.mu + self.sigma * Z_99).exp()
+    }
+
+    /// The quantile at probability `p` (0 < p < 1), via an inverse-normal
+    /// approximation (Acklam's algorithm, |ε| < 1.15e-9).
+    pub fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * inverse_normal_cdf(p)).exp()
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let n = Normal {
+            mean: self.mu,
+            std: self.sigma,
+        };
+        n.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with a given rate (λ).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] unless `rate > 0` and finite.
+    pub fn new(rate: f64) -> Result<Exponential> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(Error::InvalidDistribution {
+                distribution: "exponential",
+                reason: "rate must be positive",
+            });
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Creates from the mean (1/λ).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] unless `mean > 0`.
+    pub fn from_mean(mean: f64) -> Result<Exponential> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(Error::InvalidDistribution {
+                distribution: "exponential",
+                reason: "mean must be positive",
+            });
+        }
+        Exponential::new(1.0 / mean)
+    }
+
+    /// The rate λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean 1/λ.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s` — the skewed access
+/// pattern of embedding lookups that makes platform-level caching effective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    n: usize,
+    s: f64,
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] if `n == 0`, or `s` is negative
+    /// or non-finite.
+    pub fn new(n: usize, s: f64) -> Result<Zipf> {
+        if n == 0 {
+            return Err(Error::InvalidDistribution {
+                distribution: "zipf",
+                reason: "n must be positive",
+            });
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(Error::InvalidDistribution {
+                distribution: "zipf",
+                reason: "s must be non-negative and finite",
+            });
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { n, s, cdf })
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws a rank in `1..=n` (1 is the most popular).
+    pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.n),
+        }
+    }
+
+    /// Probability mass of rank `k` (1-based). Returns 0 outside `1..=n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.n {
+            return 0.0;
+        }
+        let prev = if k == 1 { 0.0 } else { self.cdf[k - 2] };
+        self.cdf[k - 1] - prev
+    }
+}
+
+impl Sampler for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_rank(rng) as f64
+    }
+}
+
+/// Poisson distribution (event counts at a fixed mean rate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] unless `lambda > 0` and finite.
+    pub fn new(lambda: f64) -> Result<Poisson> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error::InvalidDistribution {
+                distribution: "poisson",
+                reason: "lambda must be positive",
+            });
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// The mean λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws a count. Uses Knuth's method for small λ and a normal
+    /// approximation (rounded, clamped at 0) for λ > 30.
+    pub fn sample_count<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda > 30.0 {
+            let n = Normal {
+                mean: self.lambda,
+                std: self.lambda.sqrt(),
+            };
+            return n.sample(rng).round().max(0.0) as u64;
+        }
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+impl Sampler for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_count(rng) as f64
+    }
+}
+
+/// Inverse CDF of the standard normal (Acklam's rational approximation).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "probability must lie strictly in (0, 1), got {p}"
+    );
+    // Coefficients for Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (p50, linear interpolation).
+    pub median: f64,
+    /// 99th percentile (linear interpolation).
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] for an empty slice.
+    pub fn of(values: &[f64]) -> Result<Summary> {
+        if values.is_empty() {
+            return Err(Error::Empty("sample"));
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("summary requires finite values"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Ok(Summary {
+            count: n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p99: percentile_sorted(&sorted, 99.0),
+        })
+    }
+}
+
+/// Percentile (0–100) of an already-sorted slice, with linear interpolation.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `pct` outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile must be in 0..=100"
+    );
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Percentile (0–100) of an unsorted slice.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains NaN.
+pub fn percentile(values: &[f64], pct: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile requires finite values"));
+    percentile_sorted(&sorted, pct)
+}
+
+/// A fixed-bin histogram over `[lo, hi)`, with overflow/underflow captured in
+/// the edge bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Histogram> {
+        if bins == 0 || lo >= hi {
+            return Err(Error::InvalidDistribution {
+                distribution: "histogram",
+                reason: "requires bins > 0 and lo < hi",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
+    }
+
+    /// Records an observation (clamped into the edge bins).
+    pub fn record(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let idx = if value < self.lo {
+            0
+        } else if value >= self.hi {
+            bins - 1
+        } else {
+            (((value - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    /// Records many observations.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(bin_lo, bin_hi, count)` triples.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            let lo = self.lo + width * i as f64;
+            (lo, lo + width, c)
+        })
+    }
+
+    /// Fraction of observations in bins whose range intersects `[a, b)`.
+    pub fn mass_between(&self, a: f64, b: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mass: u64 = self
+            .bins()
+            .filter(|(lo, hi, _)| *hi > a && *lo < b)
+            .map(|(_, _, c)| c)
+            .sum();
+        mass as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let samples = d.sample_n(&mut rng(), 50_000);
+        let s = Summary::of(&samples).unwrap();
+        assert!((s.mean - 10.0).abs() < 0.05, "mean {}", s.mean);
+        assert!((s.std - 2.0).abs() < 0.05, "std {}", s.std);
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_calibration_hits_percentiles() {
+        let d = LogNormal::from_median_p99(2.96, 125.0).unwrap();
+        assert!((d.median() - 2.96).abs() < 1e-9);
+        assert!((d.p99() - 125.0).abs() < 1e-9);
+        // Empirical percentiles agree with analytic within sampling noise.
+        let samples = d.sample_n(&mut rng(), 100_000);
+        let p50 = percentile(&samples, 50.0);
+        assert!((p50 - 2.96).abs() / 2.96 < 0.05, "p50 {p50}");
+    }
+
+    #[test]
+    fn lognormal_quantile_is_monotone() {
+        let d = LogNormal::from_median_p99(1.5, 24.0).unwrap();
+        let q10 = d.quantile(0.10);
+        let q50 = d.quantile(0.50);
+        let q99 = d.quantile(0.99);
+        assert!(q10 < q50 && q50 < q99);
+        assert!((q50 - 1.5).abs() < 1e-6);
+        assert!((q99 - 24.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_calibration() {
+        assert!(LogNormal::from_median_p99(0.0, 1.0).is_err());
+        assert!(LogNormal::from_median_p99(2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::from_mean(5.0).unwrap();
+        assert!((d.rate() - 0.2).abs() < 1e-12);
+        let samples = d.sample_n(&mut rng(), 50_000);
+        let s = Summary::of(&samples).unwrap();
+        assert!((s.mean - 5.0).abs() < 0.1, "mean {}", s.mean);
+        assert!(s.min >= 0.0);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let d = Zipf::new(1000, 1.0).unwrap();
+        let mut counts = vec![0u64; 1001];
+        let mut r = rng();
+        for _ in 0..100_000 {
+            counts[d.sample_rank(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[10]);
+        assert!(counts[10] > counts[500]);
+        // Rank 1 should hold roughly 1/H(1000) ≈ 13% of the mass.
+        let share = counts[1] as f64 / 100_000.0;
+        assert!(share > 0.10 && share < 0.17, "share {share}");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let d = Zipf::new(50, 1.2).unwrap();
+        let sum: f64 = (1..=50).map(|k| d.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(d.pmf(0), 0.0);
+        assert_eq!(d.pmf(51), 0.0);
+        assert!(d.pmf(1) > d.pmf(2));
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_converge() {
+        for lambda in [3.0, 50.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let samples = d.sample_n(&mut rng(), 50_000);
+            let s = Summary::of(&samples).unwrap();
+            assert!((s.mean - lambda).abs() / lambda < 0.05, "mean {}", s.mean);
+            assert!(
+                (s.std * s.std - lambda).abs() / lambda < 0.15,
+                "var {}",
+                s.std * s.std
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn inverse_normal_cdf_known_points() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.99) - Z_99).abs() < 1e-6);
+        assert!((inverse_normal_cdf(0.95) - Z_95).abs() < 1e-6);
+        assert!((inverse_normal_cdf(0.01) + Z_99).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly in (0, 1)")]
+    fn inverse_normal_cdf_rejects_boundary() {
+        let _ = inverse_normal_cdf(1.0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_rejects_empty() {
+        assert!(matches!(Summary::of(&[]).unwrap_err(), Error::Empty(_)));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert!((percentile(&v, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.record_all([0.05, 0.15, 0.35, 0.35, 0.45, 0.95, 1.5, -0.5]);
+        assert_eq!(h.total(), 8);
+        // Overflow/underflow land in edge bins.
+        assert_eq!(h.counts()[0], 2); // 0.05 and -0.5
+        assert_eq!(h.counts()[9], 2); // 0.95 and 1.5
+                                      // 30-50% band holds 3 observations.
+        assert!((h.mass_between(0.3, 0.5) - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_params() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn deterministic_with_fixed_seed() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let a = d.sample_n(&mut StdRng::seed_from_u64(7), 10);
+        let b = d.sample_n(&mut StdRng::seed_from_u64(7), 10);
+        assert_eq!(a, b);
+    }
+}

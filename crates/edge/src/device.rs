@@ -1,0 +1,142 @@
+//! Client devices at the edge.
+//!
+//! The paper's methodology assumes a flat 3 W device power while training and
+//! a 7.5 W router while communicating. Real fleets are heterogeneous —
+//! "large degree of system heterogeneity among client edge devices" — so the
+//! device model also carries a tier with a compute-speed factor.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use sustain_core::units::{DataRate, Power, TimeSpan};
+
+/// A performance tier of client devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceTier {
+    /// Entry-level phones.
+    Low,
+    /// Mid-range phones.
+    Mid,
+    /// Flagship phones.
+    High,
+}
+
+impl DeviceTier {
+    /// All tiers.
+    pub const ALL: [DeviceTier; 3] = [DeviceTier::Low, DeviceTier::Mid, DeviceTier::High];
+
+    /// Compute-speed multiplier relative to the mid tier.
+    pub fn speed_factor(&self) -> f64 {
+        match self {
+            DeviceTier::Low => 0.5,
+            DeviceTier::Mid => 1.0,
+            DeviceTier::High => 2.0,
+        }
+    }
+
+    /// Typical fleet share of the tier.
+    pub fn fleet_share(&self) -> f64 {
+        match self {
+            DeviceTier::Low => 0.35,
+            DeviceTier::Mid => 0.45,
+            DeviceTier::High => 0.20,
+        }
+    }
+}
+
+impl fmt::Display for DeviceTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceTier::Low => f.write_str("low"),
+            DeviceTier::Mid => f.write_str("mid"),
+            DeviceTier::High => f.write_str("high"),
+        }
+    }
+}
+
+/// A client device participating in federated learning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientDevice {
+    tier: DeviceTier,
+    compute_power: Power,
+    download_rate: DataRate,
+    upload_rate: DataRate,
+}
+
+impl ClientDevice {
+    /// The paper's reference device: 3 W while training, 20 Mbit/s down /
+    /// 5 Mbit/s up on residential Wi-Fi.
+    pub fn paper_reference(tier: DeviceTier) -> ClientDevice {
+        ClientDevice {
+            tier,
+            compute_power: Power::from_watts(3.0),
+            download_rate: DataRate::from_bytes_per_sec(20e6 / 8.0),
+            upload_rate: DataRate::from_bytes_per_sec(5e6 / 8.0),
+        }
+    }
+
+    /// The device tier.
+    pub fn tier(&self) -> DeviceTier {
+        self.tier
+    }
+
+    /// Power draw while training.
+    pub fn compute_power(&self) -> Power {
+        self.compute_power
+    }
+
+    /// Download throughput.
+    pub fn download_rate(&self) -> DataRate {
+        self.download_rate
+    }
+
+    /// Upload throughput.
+    pub fn upload_rate(&self) -> DataRate {
+        self.upload_rate
+    }
+
+    /// Time to finish a local-training workload that takes `mid_tier_time`
+    /// on a mid-tier device.
+    pub fn compute_time(&self, mid_tier_time: TimeSpan) -> TimeSpan {
+        mid_tier_time / self.tier.speed_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_device_is_3_watts() {
+        let d = ClientDevice::paper_reference(DeviceTier::Mid);
+        assert_eq!(d.compute_power(), Power::from_watts(3.0));
+    }
+
+    #[test]
+    fn tiers_scale_compute_time() {
+        let work = TimeSpan::from_minutes(10.0);
+        let low = ClientDevice::paper_reference(DeviceTier::Low).compute_time(work);
+        let mid = ClientDevice::paper_reference(DeviceTier::Mid).compute_time(work);
+        let high = ClientDevice::paper_reference(DeviceTier::High).compute_time(work);
+        assert!((low.as_minutes() - 20.0).abs() < 1e-9);
+        assert!((mid.as_minutes() - 10.0).abs() < 1e-9);
+        assert!((high.as_minutes() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_shares_sum_to_one() {
+        let sum: f64 = DeviceTier::ALL.iter().map(|t| t.fleet_share()).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_wireless_rates() {
+        let d = ClientDevice::paper_reference(DeviceTier::Mid);
+        assert!(d.download_rate() > d.upload_rate());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DeviceTier::High.to_string(), "high");
+    }
+}

@@ -1,0 +1,30 @@
+//! # sustain-edge
+//!
+//! On-device and federated-learning carbon simulation (§IV-C, Figure 11,
+//! Appendix B).
+//!
+//! The paper estimates federated-learning emissions from 90-day production
+//! client logs: per-client time spent computing, downloading, and uploading,
+//! multiplied by a 3 W device power and a 7.5 W router power. This crate
+//! rebuilds that pipeline end-to-end:
+//!
+//! * [`device`] — client-device tiers and their compute/communication rates.
+//! * [`comm`] — wireless transfer times and communication energy.
+//! * [`log`] — the 90-day client-log format and a synthetic log generator.
+//! * [`fl`] — federated-learning round simulation over heterogeneous clients.
+//! * [`carbon`] — the published estimation methodology, the FL-1/FL-2
+//!   application presets, and the centralized Transformer_Big baselines
+//!   (P100/TPU, grid and green).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod carbon;
+pub mod comm;
+pub mod device;
+pub mod fl;
+pub mod log;
+pub mod selection;
+
+pub use carbon::{CentralizedBaseline, EdgeCarbonEstimator};
+pub use fl::{FlApp, FlSimReport};

@@ -1,0 +1,233 @@
+//! Energy-aware client selection for federated learning (§IV-C).
+//!
+//! "Optimizing the overall energy efficiency of FL and on-device AI is an
+//! important first step" — the paper cites AutoFL (heterogeneity-aware,
+//! energy-efficient FL). The model: per round, a cohort is selected from a
+//! heterogeneous candidate pool. **Random** selection ignores tiers;
+//! **energy-aware** selection prefers fast devices (less compute time per
+//! round) and good links (less router time), cutting per-round energy at the
+//! cost of a fairness skew, which is also quantified.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use sustain_core::units::{DataVolume, Energy, TimeSpan};
+
+use crate::comm::CommModel;
+use crate::device::{ClientDevice, DeviceTier};
+
+/// Client-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// Uniform random selection (the FedAvg default).
+    Random,
+    /// Prefer the lowest-energy candidates (AutoFL-style).
+    EnergyAware,
+}
+
+/// One candidate device in the per-round pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The device.
+    pub device: ClientDevice,
+    /// Index into the global population (for fairness accounting).
+    pub id: u64,
+}
+
+/// The outcome of simulating selection over many rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionReport {
+    /// Total device + router energy across rounds.
+    pub total_energy: Energy,
+    /// Mean wall-clock per round (gated by the slowest selected client).
+    pub mean_round_time: TimeSpan,
+    /// Share of all selections that went to high-tier devices.
+    pub high_tier_share: f64,
+}
+
+/// Energy of one client's round: local compute plus both transfers.
+pub fn round_energy(
+    device: &ClientDevice,
+    comm: &CommModel,
+    update_size: DataVolume,
+    mid_tier_compute: TimeSpan,
+) -> Energy {
+    let compute_time = device.compute_time(mid_tier_compute);
+    let dl = comm.transfer_time(update_size, device.download_rate());
+    let ul = comm.transfer_time(update_size, device.upload_rate());
+    device.compute_power() * compute_time + comm.active_power() * (dl + ul)
+}
+
+/// Wall-clock of one client's round.
+pub fn round_time(
+    device: &ClientDevice,
+    comm: &CommModel,
+    update_size: DataVolume,
+    mid_tier_compute: TimeSpan,
+) -> TimeSpan {
+    device.compute_time(mid_tier_compute)
+        + comm.transfer_time(update_size, device.download_rate())
+        + comm.transfer_time(update_size, device.upload_rate())
+}
+
+/// Simulates `rounds` rounds: each round draws `pool` candidates from the
+/// tier mix and selects `cohort` of them under `policy`.
+///
+/// # Panics
+///
+/// Panics if `cohort` is zero or exceeds `pool`.
+pub fn simulate_selection<R: Rng + ?Sized>(
+    rng: &mut R,
+    policy: SelectionPolicy,
+    rounds: u32,
+    pool: usize,
+    cohort: usize,
+    update_size: DataVolume,
+    mid_tier_compute: TimeSpan,
+) -> SelectionReport {
+    assert!(cohort > 0, "cohort must be non-empty");
+    assert!(cohort <= pool, "cohort cannot exceed the pool");
+    let comm = CommModel::paper_default();
+    let mut total_energy = Energy::ZERO;
+    let mut total_round_time = TimeSpan::ZERO;
+    let mut high_selected = 0u64;
+    let mut selected = 0u64;
+
+    for _ in 0..rounds {
+        let mut candidates: Vec<Candidate> = (0..pool)
+            .map(|i| Candidate {
+                device: ClientDevice::paper_reference(sample_tier(rng)),
+                id: i as u64,
+            })
+            .collect();
+        let chosen: Vec<Candidate> = match policy {
+            SelectionPolicy::Random => {
+                candidates.shuffle(rng);
+                candidates.into_iter().take(cohort).collect()
+            }
+            SelectionPolicy::EnergyAware => {
+                candidates.sort_by(|a, b| {
+                    let ea = round_energy(&a.device, &comm, update_size, mid_tier_compute);
+                    let eb = round_energy(&b.device, &comm, update_size, mid_tier_compute);
+                    ea.partial_cmp(&eb).expect("energies are finite")
+                });
+                candidates.into_iter().take(cohort).collect()
+            }
+        };
+        let mut slowest = TimeSpan::ZERO;
+        for c in &chosen {
+            total_energy += round_energy(&c.device, &comm, update_size, mid_tier_compute);
+            slowest = slowest.max(round_time(&c.device, &comm, update_size, mid_tier_compute));
+            if c.device.tier() == DeviceTier::High {
+                high_selected += 1;
+            }
+            selected += 1;
+        }
+        total_round_time += slowest;
+    }
+
+    SelectionReport {
+        total_energy,
+        mean_round_time: total_round_time / rounds.max(1) as f64,
+        high_tier_share: if selected == 0 {
+            0.0
+        } else {
+            high_selected as f64 / selected as f64
+        },
+    }
+}
+
+fn sample_tier<R: Rng + ?Sized>(rng: &mut R) -> DeviceTier {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for tier in DeviceTier::ALL {
+        acc += tier.fleet_share();
+        if u < acc {
+            return tier;
+        }
+    }
+    DeviceTier::High
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sustain_core::units::Fraction;
+
+    fn run(policy: SelectionPolicy, seed: u64) -> SelectionReport {
+        simulate_selection(
+            &mut StdRng::seed_from_u64(seed),
+            policy,
+            50,
+            200,
+            40,
+            DataVolume::from_bytes(20e6),
+            TimeSpan::from_minutes(4.0),
+        )
+    }
+
+    #[test]
+    fn energy_aware_selection_cuts_round_energy() {
+        let random = run(SelectionPolicy::Random, 1);
+        let aware = run(SelectionPolicy::EnergyAware, 1);
+        assert!(
+            aware.total_energy < random.total_energy * 0.85,
+            "aware {} vs random {}",
+            aware.total_energy,
+            random.total_energy
+        );
+    }
+
+    #[test]
+    fn energy_aware_selection_is_faster_per_round() {
+        // No low-tier stragglers gating the round.
+        let random = run(SelectionPolicy::Random, 2);
+        let aware = run(SelectionPolicy::EnergyAware, 2);
+        assert!(aware.mean_round_time < random.mean_round_time);
+    }
+
+    #[test]
+    fn energy_aware_selection_skews_toward_fast_devices() {
+        // The fairness cost: high-tier devices are over-selected relative to
+        // their 20% fleet share.
+        let random = run(SelectionPolicy::Random, 3);
+        let aware = run(SelectionPolicy::EnergyAware, 3);
+        assert!((random.high_tier_share - 0.20).abs() < 0.05);
+        assert!(
+            aware.high_tier_share > 0.5,
+            "share {}",
+            aware.high_tier_share
+        );
+    }
+
+    #[test]
+    fn round_energy_decomposes_into_compute_and_comm() {
+        let device = ClientDevice::paper_reference(DeviceTier::Mid);
+        let comm = CommModel::paper_default();
+        let size = DataVolume::from_bytes(20e6);
+        let work = TimeSpan::from_minutes(4.0);
+        let total = round_energy(&device, &comm, size, work);
+        let compute = device.compute_power() * device.compute_time(work);
+        assert!(total > compute, "must include communication energy");
+        let comm_energy = total - compute;
+        let share = Fraction::saturating(comm_energy / total);
+        assert!(share.value() > 0.1, "comm share {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort cannot exceed the pool")]
+    fn rejects_oversized_cohort() {
+        let _ = simulate_selection(
+            &mut StdRng::seed_from_u64(0),
+            SelectionPolicy::Random,
+            1,
+            10,
+            11,
+            DataVolume::from_bytes(1e6),
+            TimeSpan::from_minutes(1.0),
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Diurnal load and auto-scaling (§III-C).
+//!
+//! "For data center fleets in different geographical regions where the actual
+//! server utilization exhibits a diurnal pattern, Auto-Scaling frees the
+//! over-provisioned capacity during off-peak hours, by up to 25 % of the web
+//! tier's machines... it provides opportunistic server capacity for others to
+//! use, including offline ML training."
+
+use serde::{Deserialize, Serialize};
+
+use sustain_core::units::{Energy, Fraction, Power, TimeSpan};
+
+/// A diurnal load profile: utilization oscillates between a trough and a peak
+/// with a 24-hour period, peaking at `peak_hour` local time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalLoad {
+    trough: Fraction,
+    peak: Fraction,
+    peak_hour: f64,
+}
+
+impl DiurnalLoad {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trough > peak`.
+    pub fn new(trough: Fraction, peak: Fraction, peak_hour: f64) -> DiurnalLoad {
+        assert!(trough <= peak, "trough must not exceed peak");
+        DiurnalLoad {
+            trough,
+            peak,
+            peak_hour,
+        }
+    }
+
+    /// A web-tier-like profile: 35 % at night, 90 % at the 20:00 peak.
+    pub fn web_tier() -> DiurnalLoad {
+        DiurnalLoad::new(Fraction::saturating(0.35), Fraction::saturating(0.90), 20.0)
+    }
+
+    /// Utilization at time `t`.
+    pub fn utilization_at(&self, t: TimeSpan) -> Fraction {
+        let hour = t.as_hours().rem_euclid(24.0);
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let mid = (self.peak.value() + self.trough.value()) / 2.0;
+        let amp = (self.peak.value() - self.trough.value()) / 2.0;
+        Fraction::saturating(mid + amp * phase.cos())
+    }
+
+    /// The trough utilization.
+    pub fn trough(&self) -> Fraction {
+        self.trough
+    }
+
+    /// The peak utilization.
+    pub fn peak(&self) -> Fraction {
+        self.peak
+    }
+}
+
+/// An auto-scaler that frees capacity when load is below a threshold, up to a
+/// maximum freed share (the paper's 25 %).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoScaler {
+    max_freed_share: Fraction,
+    headroom: Fraction,
+}
+
+impl AutoScaler {
+    /// Creates an auto-scaler that frees machines down to `headroom` above
+    /// current load, never freeing more than `max_freed_share` of the tier.
+    pub fn new(max_freed_share: Fraction, headroom: Fraction) -> AutoScaler {
+        AutoScaler {
+            max_freed_share,
+            headroom,
+        }
+    }
+
+    /// The paper's configuration: up to 25 % freed, 15 % headroom.
+    pub fn paper_default() -> AutoScaler {
+        AutoScaler::new(Fraction::saturating(0.25), Fraction::saturating(0.15))
+    }
+
+    /// The share of the tier freed at a given utilization: capacity above
+    /// `utilization + headroom` is released, capped at the max share.
+    pub fn freed_share_at(&self, utilization: Fraction) -> Fraction {
+        let needed = (utilization.value() + self.headroom.value()).min(1.0);
+        Fraction::saturating((1.0 - needed).min(self.max_freed_share.value()))
+    }
+
+    /// Opportunistic capacity over a day for a tier of `tier_power` total
+    /// power under a load profile, integrated hourly: the power-hours made
+    /// available to offline ML training.
+    pub fn opportunistic_energy_per_day(&self, tier_power: Power, load: &DiurnalLoad) -> Energy {
+        let mut total = Energy::ZERO;
+        for h in 0..24 {
+            let u = load.utilization_at(TimeSpan::from_hours(h as f64));
+            total += self.freed_share_at(u) * tier_power * TimeSpan::from_hours(1.0);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_peaks_at_peak_hour() {
+        let load = DiurnalLoad::web_tier();
+        let peak = load.utilization_at(TimeSpan::from_hours(20.0));
+        let trough = load.utilization_at(TimeSpan::from_hours(8.0));
+        assert!((peak.value() - 0.90).abs() < 1e-9);
+        assert!((trough.value() - 0.35).abs() < 1e-9);
+        // Repeats daily.
+        let tomorrow = load.utilization_at(TimeSpan::from_hours(44.0));
+        assert!((tomorrow.value() - peak.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freed_share_caps_at_25_percent() {
+        let scaler = AutoScaler::paper_default();
+        // Deep trough: 1 - (0.35+0.15) = 0.5, capped at 0.25.
+        let freed = scaler.freed_share_at(Fraction::saturating(0.35));
+        assert!((freed.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_capacity_freed_at_peak() {
+        let scaler = AutoScaler::paper_default();
+        let freed = scaler.freed_share_at(Fraction::saturating(0.90));
+        assert!(freed.value() < 1e-12);
+    }
+
+    #[test]
+    fn partial_freeing_in_between() {
+        let scaler = AutoScaler::paper_default();
+        let freed = scaler.freed_share_at(Fraction::saturating(0.70));
+        assert!((freed.value() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opportunistic_energy_is_substantial() {
+        let scaler = AutoScaler::paper_default();
+        let load = DiurnalLoad::web_tier();
+        let tier = Power::from_megawatts(100.0);
+        let e = scaler.opportunistic_energy_per_day(tier, &load);
+        // Should free a meaningful slice of the 2400 MWh/day tier envelope.
+        assert!(e.as_megawatt_hours() > 100.0, "got {e}");
+        assert!(
+            e.as_megawatt_hours() < 600.0,
+            "cannot exceed 25% cap, got {e}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "trough must not exceed peak")]
+    fn rejects_inverted_profile() {
+        let _ = DiurnalLoad::new(Fraction::saturating(0.9), Fraction::saturating(0.3), 12.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Capacity planning under AI demand growth (§III-C "Efficiency of Scale",
+//! Fig 2d).
+//!
+//! AI training capacity grows 2.9× and inference 2.5× every 1.5 years; every
+//! server deployed to meet it carries an upfront embodied cost. The planner
+//! turns a demand trend into a deployment schedule and its embodied pipeline,
+//! and quantifies the *efficiency-of-scale* lever: accelerators with higher
+//! throughput density reduce the number of servers (and therefore embodied
+//! carbon) needed for the same demand.
+
+use serde::{Deserialize, Serialize};
+
+use sustain_core::units::{Co2e, TimeSpan};
+use sustain_workload::datagrowth::GrowthTrend;
+
+use crate::server::ServerSku;
+
+/// One planning period's deployment decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentStep {
+    /// Period index (half-years).
+    pub period: u32,
+    /// Demand at the period start, in units of one baseline server's throughput.
+    pub demand: f64,
+    /// Servers in service after deployment.
+    pub servers_in_service: u64,
+    /// Servers newly deployed this period.
+    pub servers_added: u64,
+    /// Embodied carbon of the new deployments.
+    pub embodied_added: Co2e,
+}
+
+/// A capacity plan for a demand trend served by one SKU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityPlan {
+    steps: Vec<DeploymentStep>,
+}
+
+impl CapacityPlan {
+    /// Plans deployments every half-year over `periods` periods: demand
+    /// follows `trend` (starting at `initial_demand` baseline-server units),
+    /// each server of `sku` delivers `throughput_per_server` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `throughput_per_server` or `initial_demand` is not positive.
+    pub fn plan(
+        trend: &GrowthTrend,
+        initial_demand: f64,
+        sku: &ServerSku,
+        throughput_per_server: f64,
+        periods: u32,
+    ) -> CapacityPlan {
+        assert!(initial_demand > 0.0, "initial demand must be positive");
+        assert!(
+            throughput_per_server > 0.0,
+            "per-server throughput must be positive"
+        );
+        let mut steps = Vec::with_capacity(periods as usize + 1);
+        let mut in_service: u64 = 0;
+        for period in 0..=periods {
+            let t = TimeSpan::from_days(182.625 * period as f64);
+            let demand = initial_demand * trend.factor_over(t);
+            let needed = (demand / throughput_per_server).ceil() as u64;
+            let added = needed.saturating_sub(in_service);
+            in_service = in_service.max(needed);
+            steps.push(DeploymentStep {
+                period,
+                demand,
+                servers_in_service: in_service,
+                servers_added: added,
+                embodied_added: sku.embodied().total() * added as f64,
+            });
+        }
+        CapacityPlan { steps }
+    }
+
+    /// The deployment steps.
+    pub fn steps(&self) -> &[DeploymentStep] {
+        &self.steps
+    }
+
+    /// Total embodied carbon committed over the plan.
+    pub fn total_embodied(&self) -> Co2e {
+        self.steps.iter().map(|s| s.embodied_added).sum()
+    }
+
+    /// Servers in service at the end of the plan.
+    pub fn final_servers(&self) -> u64 {
+        self.steps.last().map_or(0, |s| s.servers_in_service)
+    }
+}
+
+/// The efficiency-of-scale comparison: serving the same demand with a
+/// higher-density SKU (`density_factor`× the baseline throughput per server).
+///
+/// Returns `(baseline_plan, dense_plan)`.
+pub fn density_ablation(
+    trend: &GrowthTrend,
+    initial_demand: f64,
+    baseline: &ServerSku,
+    dense: &ServerSku,
+    density_factor: f64,
+    periods: u32,
+) -> (CapacityPlan, CapacityPlan) {
+    let base = CapacityPlan::plan(trend, initial_demand, baseline, 1.0, periods);
+    let packed = CapacityPlan::plan(trend, initial_demand, dense, density_factor, periods);
+    (base, packed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerKind;
+
+    fn training_trend() -> GrowthTrend {
+        GrowthTrend::training_capacity()
+    }
+
+    #[test]
+    fn plan_tracks_demand_growth() {
+        let sku = ServerSku::preset(ServerKind::GpuTraining);
+        let plan = CapacityPlan::plan(&training_trend(), 100.0, &sku, 1.0, 3);
+        // 2.9x over 1.5y = 3 periods.
+        let first = plan.steps()[0];
+        let last = plan.steps()[3];
+        assert_eq!(first.servers_in_service, 100);
+        assert!((last.demand / first.demand - 2.9).abs() < 1e-9);
+        assert_eq!(last.servers_in_service, 290);
+        assert_eq!(plan.final_servers(), 290);
+    }
+
+    #[test]
+    fn embodied_pipeline_accumulates_with_growth() {
+        let sku = ServerSku::preset(ServerKind::GpuTraining);
+        let plan = CapacityPlan::plan(&training_trend(), 100.0, &sku, 1.0, 3);
+        // 290 servers × 2 t each.
+        assert!((plan.total_embodied().as_tonnes() - 580.0).abs() < 1e-6);
+        // Additions happen every period under monotone growth.
+        for s in &plan.steps()[1..] {
+            assert!(s.servers_added > 0, "period {} added none", s.period);
+        }
+    }
+
+    #[test]
+    fn density_slashes_embodied_for_same_demand() {
+        // One accelerator server replacing 4 CPU-servers' throughput: even at
+        // 2x the embodied cost per box, the fleet embodied drops ~2x.
+        let cpu = ServerSku::preset(ServerKind::Inference);
+        let gpu = ServerSku::preset(ServerKind::GpuTraining);
+        let (base, dense) = density_ablation(
+            &GrowthTrend::inference_capacity(),
+            1000.0,
+            &cpu,
+            &gpu,
+            4.0,
+            4,
+        );
+        assert!(dense.final_servers() * 3 < base.final_servers());
+        assert!(
+            dense.total_embodied() < base.total_embodied() * 0.6,
+            "dense {:?} vs base {:?}",
+            dense.total_embodied(),
+            base.total_embodied()
+        );
+    }
+
+    #[test]
+    fn flat_demand_deploys_once() {
+        let flat = GrowthTrend::new(1.0, 1.0, TimeSpan::from_years(1.0));
+        let sku = ServerSku::preset(ServerKind::Compute);
+        let plan = CapacityPlan::plan(&flat, 10.0, &sku, 1.0, 4);
+        assert_eq!(plan.steps()[0].servers_added, 10);
+        for s in &plan.steps()[1..] {
+            assert_eq!(s.servers_added, 0);
+        }
+    }
+
+    #[test]
+    fn ceil_rounds_partial_servers_up() {
+        let flat = GrowthTrend::new(1.0, 1.0, TimeSpan::from_years(1.0));
+        let sku = ServerSku::preset(ServerKind::Compute);
+        let plan = CapacityPlan::plan(&flat, 10.5, &sku, 1.0, 0);
+        assert_eq!(plan.final_servers(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial demand must be positive")]
+    fn rejects_zero_demand() {
+        let sku = ServerSku::preset(ServerKind::Compute);
+        let _ = CapacityPlan::plan(&training_trend(), 0.0, &sku, 1.0, 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Geo-distributed carbon-aware placement (§IV-C).
+//!
+//! "Elastic carbon-aware workload scheduling techniques can be used **in and
+//! across datacenters** to predict and exploit the intermittent energy
+//! generation patterns." This module adds the *across* dimension: a set of
+//! datacenters in different timezones/grids, each with its own diurnal
+//! intensity signal, and placement policies that route deferrable work to the
+//! momentarily-cleanest region (follow-the-sun), subject to a per-region
+//! capacity cap.
+
+use serde::{Deserialize, Serialize};
+
+use sustain_core::intensity::CarbonIntensity;
+use sustain_core::units::{Co2e, Energy};
+
+use crate::scheduler::IntensitySeries;
+
+/// One region in the geo-distributed fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    name: String,
+    intensity: IntensitySeries,
+    /// Concurrent jobs the region can host.
+    capacity: usize,
+}
+
+impl Region {
+    /// Creates a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: impl Into<String>, intensity: IntensitySeries, capacity: usize) -> Region {
+        assert!(capacity > 0, "region capacity must be positive");
+        Region {
+            name: name.into(),
+            intensity,
+            capacity,
+        }
+    }
+
+    /// The region name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hourly intensity signal.
+    pub fn intensity(&self) -> &IntensitySeries {
+        &self.intensity
+    }
+
+    /// The concurrency capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A solar region whose clean window is shifted by `offset_hours`
+    /// (timezones): the building block of follow-the-sun fleets.
+    pub fn solar_with_offset(
+        name: impl Into<String>,
+        offset_hours: usize,
+        days: usize,
+        capacity: usize,
+    ) -> Region {
+        let base = IntensitySeries::solar_day(days);
+        let len = base.len();
+        let shifted: Vec<CarbonIntensity> = (0..len)
+            .map(|h| base.at((h + offset_hours) % len))
+            .collect();
+        Region::new(name, IntensitySeries::new(shifted), capacity)
+    }
+}
+
+/// A deferrable, region-agnostic job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoJob {
+    /// Caller id.
+    pub id: u64,
+    /// Arrival hour (UTC).
+    pub arrival_hour: usize,
+    /// Runtime in whole hours.
+    pub duration_hours: usize,
+    /// IT energy, spread uniformly over the runtime.
+    pub energy: Energy,
+}
+
+/// Placement policy across regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GeoPolicy {
+    /// Every job runs in its home region (index 0) at arrival.
+    HomeRegion,
+    /// Each job runs at arrival in the region with the lowest mean intensity
+    /// over its runtime (follow-the-sun), subject to capacity.
+    FollowTheSun,
+}
+
+/// One placed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeoPlacement {
+    /// The job id.
+    pub job_id: u64,
+    /// Chosen region name.
+    pub region: String,
+    /// Emissions under this placement.
+    pub co2: Co2e,
+}
+
+/// The outcome of geo-distributed placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeoScheduleResult {
+    placements: Vec<GeoPlacement>,
+}
+
+impl GeoScheduleResult {
+    /// Per-job placements.
+    pub fn placements(&self) -> &[GeoPlacement] {
+        &self.placements
+    }
+
+    /// Total emissions.
+    pub fn total_co2(&self) -> Co2e {
+        self.placements.iter().map(|p| p.co2).sum()
+    }
+
+    /// Jobs placed in the named region.
+    pub fn count_in(&self, region: &str) -> usize {
+        self.placements
+            .iter()
+            .filter(|p| p.region == region)
+            .count()
+    }
+}
+
+/// Places jobs across regions under a policy. Jobs run at their arrival hour
+/// (no temporal shifting — that is [`crate::scheduler`]'s axis; this module
+/// isolates the *spatial* axis).
+///
+/// # Panics
+///
+/// Panics if `regions` is empty.
+pub fn place(jobs: &[GeoJob], regions: &[Region], policy: GeoPolicy) -> GeoScheduleResult {
+    assert!(!regions.is_empty(), "need at least one region");
+    let horizon = jobs
+        .iter()
+        .map(|j| j.arrival_hour + j.duration_hours)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let mut occupancy: Vec<Vec<usize>> = regions.iter().map(|_| vec![0; horizon]).collect();
+
+    let fits = |occ: &[usize], job: &GeoJob, cap: usize| {
+        (job.arrival_hour..job.arrival_hour + job.duration_hours).all(|h| occ[h] < cap)
+    };
+
+    let mut placements = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let candidate_indices: Vec<usize> = match policy {
+            GeoPolicy::HomeRegion => vec![0],
+            GeoPolicy::FollowTheSun => {
+                let mut order: Vec<usize> = (0..regions.len()).collect();
+                order.sort_by(|&a, &b| {
+                    let ia = regions[a]
+                        .intensity()
+                        .mean_over(job.arrival_hour, job.duration_hours)
+                        .as_grams_per_kwh();
+                    let ib = regions[b]
+                        .intensity()
+                        .mean_over(job.arrival_hour, job.duration_hours)
+                        .as_grams_per_kwh();
+                    ia.partial_cmp(&ib).expect("intensities are finite")
+                });
+                order
+            }
+        };
+        // First candidate with capacity; home region absorbs the spill
+        // regardless of its cap (it is the job's origin).
+        let chosen = candidate_indices
+            .iter()
+            .copied()
+            .find(|&r| fits(&occupancy[r], job, regions[r].capacity()))
+            .unwrap_or(0);
+        for slot in occupancy[chosen]
+            .iter_mut()
+            .skip(job.arrival_hour)
+            .take(job.duration_hours)
+        {
+            *slot += 1;
+        }
+        let mean = regions[chosen]
+            .intensity()
+            .mean_over(job.arrival_hour, job.duration_hours);
+        placements.push(GeoPlacement {
+            job_id: job.id,
+            region: regions[chosen].name().to_owned(),
+            co2: mean * job.energy,
+        });
+    }
+    GeoScheduleResult { placements }
+}
+
+/// A three-region follow-the-sun demo fleet: solar windows 8 hours apart.
+pub fn follow_the_sun_fleet(days: usize, capacity: usize) -> Vec<Region> {
+    vec![
+        Region::solar_with_offset("us-west", 0, days, capacity),
+        Region::solar_with_offset("europe", 8, days, capacity),
+        Region::solar_with_offset("asia", 16, days, capacity),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hourly_jobs(n: u64) -> Vec<GeoJob> {
+        (0..n)
+            .map(|i| GeoJob {
+                id: i,
+                arrival_hour: (i as usize * 3) % 48,
+                duration_hours: 2,
+                energy: Energy::from_kilowatt_hours(100.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn follow_the_sun_beats_home_region() {
+        let regions = follow_the_sun_fleet(3, 100);
+        let jobs = hourly_jobs(16);
+        let home = place(&jobs, &regions, GeoPolicy::HomeRegion);
+        let sun = place(&jobs, &regions, GeoPolicy::FollowTheSun);
+        assert!(
+            sun.total_co2() < home.total_co2() * 0.75,
+            "sun {:?} vs home {:?}",
+            sun.total_co2(),
+            home.total_co2()
+        );
+    }
+
+    #[test]
+    fn follow_the_sun_uses_all_regions() {
+        let regions = follow_the_sun_fleet(3, 100);
+        let jobs = hourly_jobs(24);
+        let sun = place(&jobs, &regions, GeoPolicy::FollowTheSun);
+        for r in &regions {
+            assert!(sun.count_in(r.name()) > 0, "region {} never used", r.name());
+        }
+    }
+
+    #[test]
+    fn home_region_places_everything_at_home() {
+        let regions = follow_the_sun_fleet(3, 100);
+        let jobs = hourly_jobs(8);
+        let home = place(&jobs, &regions, GeoPolicy::HomeRegion);
+        assert_eq!(home.count_in("us-west"), 8);
+    }
+
+    #[test]
+    fn capacity_caps_divert_to_second_best() {
+        // One-slot regions: concurrent jobs must spread out even if one
+        // region is momentarily cleanest.
+        let regions = follow_the_sun_fleet(2, 1);
+        let jobs: Vec<GeoJob> = (0..3)
+            .map(|i| GeoJob {
+                id: i,
+                arrival_hour: 10, // everyone arrives in us-west's clean window
+                duration_hours: 2,
+                energy: Energy::from_kilowatt_hours(10.0),
+            })
+            .collect();
+        let sun = place(&jobs, &regions, GeoPolicy::FollowTheSun);
+        assert!(sun.count_in("us-west") <= 1, "capacity must bind");
+        assert_eq!(sun.placements().len(), 3);
+    }
+
+    #[test]
+    fn offset_shifts_the_clean_window() {
+        let r = Region::solar_with_offset("x", 8, 1, 1);
+        // Hour 2 in the shifted region sees the base signal at hour 10 (clean).
+        assert!(r.intensity().at(2).as_grams_per_kwh() < 200.0);
+        // Hour 12 sees base hour 20 (dirty night).
+        assert!(r.intensity().at(12).as_grams_per_kwh() > 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region")]
+    fn rejects_empty_fleet() {
+        let _ = place(&hourly_jobs(1), &[], GeoPolicy::HomeRegion);
+    }
+}

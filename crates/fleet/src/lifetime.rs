@@ -1,0 +1,252 @@
+//! Hardware aging, silent data corruption, and the life-extension trade-off
+//! (Appendix B, "Fault-Tolerant AI Systems and Hardware").
+//!
+//! "One way to amortize the rising embodied carbon cost of AI infrastructures
+//! is to extend hardware lifetime. However, hardware ages — depending on the
+//! wear-out characteristics, increasingly more errors can surface over time
+//! and result in silent data corruption." The model: a Weibull wear-out
+//! hazard whose error rate climbs with age; extending a fleet's service life
+//! lowers the embodied rate but raises the expected cost of corruption
+//! mitigation (re-runs, checksumming overhead). [`optimal_lifetime`] finds
+//! the carbon-minimal decommissioning age.
+
+use serde::{Deserialize, Serialize};
+
+use sustain_core::embodied::EmbodiedModel;
+use sustain_core::units::{Co2e, TimeSpan};
+
+/// A Weibull wear-out model: the device error (SDC) rate per year rises as
+/// `base_rate × (age / scale)^(shape − 1)` — `shape > 1` means wear-out.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearoutModel {
+    base_rate_per_year: f64,
+    shape: f64,
+    scale_years: f64,
+}
+
+impl WearoutModel {
+    /// Creates a wear-out model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all parameters are positive and `shape >= 1`
+    /// (fleet hardware wears out, it does not get younger).
+    pub fn new(base_rate_per_year: f64, shape: f64, scale_years: f64) -> WearoutModel {
+        assert!(base_rate_per_year > 0.0, "base rate must be positive");
+        assert!(shape >= 1.0, "wear-out requires shape >= 1");
+        assert!(scale_years > 0.0, "scale must be positive");
+        WearoutModel {
+            base_rate_per_year,
+            shape,
+            scale_years,
+        }
+    }
+
+    /// A fleet-server preset: negligible early-life SDC (~0.07 events/yr at
+    /// age 1) growing quadratically past the design life (shape 3, scale
+    /// 6 y) — the "cores that don't count" / "silent data corruptions at
+    /// scale" regime, where a server's aged cores trigger recurring re-runs.
+    pub fn fleet_processor() -> WearoutModel {
+        WearoutModel::new(2.5, 3.0, 6.0)
+    }
+
+    /// Instantaneous SDC rate (events/year) at a given age.
+    pub fn sdc_rate_at(&self, age: TimeSpan) -> f64 {
+        let a = age.as_years().max(0.0);
+        self.base_rate_per_year * (a / self.scale_years).powf(self.shape - 1.0)
+    }
+
+    /// Expected SDC events over a service life (integral of the hazard).
+    pub fn expected_events(&self, lifetime: TimeSpan) -> f64 {
+        // ∫₀ᴸ b·(t/s)^(k−1) dt = b·s/k · (L/s)^k
+        let l = lifetime.as_years().max(0.0);
+        self.base_rate_per_year * self.scale_years / self.shape
+            * (l / self.scale_years).powf(self.shape)
+    }
+}
+
+/// Carbon economics of a service-life choice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimePoint {
+    /// The service life evaluated.
+    pub lifetime: TimeSpan,
+    /// Embodied carbon per service-year at this life.
+    pub embodied_per_year: Co2e,
+    /// Expected mitigation carbon per service-year (re-runs and checks
+    /// triggered by SDC events).
+    pub mitigation_per_year: Co2e,
+}
+
+impl LifetimePoint {
+    /// Total attributable carbon per service-year.
+    pub fn total_per_year(&self) -> Co2e {
+        self.embodied_per_year + self.mitigation_per_year
+    }
+}
+
+/// The life-extension trade-off: embodied carbon amortizes down with a longer
+/// life while wear-out mitigation carbon grows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeTradeoff {
+    embodied_total: Co2e,
+    wearout: WearoutModel,
+    mitigation_per_event: Co2e,
+}
+
+impl LifetimeTradeoff {
+    /// Creates a trade-off for a system with the given total embodied carbon,
+    /// wear-out model, and carbon cost per SDC event (the re-run/repair tax).
+    pub fn new(
+        embodied_total: Co2e,
+        wearout: WearoutModel,
+        mitigation_per_event: Co2e,
+    ) -> LifetimeTradeoff {
+        LifetimeTradeoff {
+            embodied_total,
+            wearout,
+            mitigation_per_event,
+        }
+    }
+
+    /// The paper-shaped preset: a 2000 kg GPU server whose SDC events each
+    /// cost ~200 kg CO₂e in re-run energy and validation sweeps. The
+    /// carbon-optimal decommissioning age lands at ~6 years — past the 3–5 y
+    /// fleet norm, which is exactly the paper's life-extension argument.
+    pub fn gpu_server() -> LifetimeTradeoff {
+        let embodied = EmbodiedModel::gpu_server()
+            .expect("paper constants are valid")
+            .total();
+        LifetimeTradeoff::new(
+            embodied,
+            WearoutModel::fleet_processor(),
+            Co2e::from_kilograms(200.0),
+        )
+    }
+
+    /// Evaluates one candidate service life.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lifetime` is not positive.
+    pub fn at(&self, lifetime: TimeSpan) -> LifetimePoint {
+        let years = lifetime.as_years();
+        assert!(years > 0.0, "lifetime must be positive");
+        LifetimePoint {
+            lifetime,
+            embodied_per_year: self.embodied_total / years,
+            mitigation_per_year: self.mitigation_per_event
+                * (self.wearout.expected_events(lifetime) / years),
+        }
+    }
+
+    /// Sweeps candidate lifetimes.
+    pub fn sweep(&self, years: &[f64]) -> Vec<LifetimePoint> {
+        years
+            .iter()
+            .map(|&y| self.at(TimeSpan::from_years(y)))
+            .collect()
+    }
+}
+
+/// The carbon-minimal service life over a candidate grid.
+///
+/// # Panics
+///
+/// Panics if `years` is empty.
+pub fn optimal_lifetime(tradeoff: &LifetimeTradeoff, years: &[f64]) -> LifetimePoint {
+    assert!(!years.is_empty(), "need at least one candidate lifetime");
+    tradeoff
+        .sweep(years)
+        .into_iter()
+        .min_by(|a, b| {
+            a.total_per_year()
+                .partial_cmp(&b.total_per_year())
+                .expect("carbon totals are finite")
+        })
+        .expect("sweep is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdc_rate_rises_with_age() {
+        let w = WearoutModel::fleet_processor();
+        let young = w.sdc_rate_at(TimeSpan::from_years(1.0));
+        let old = w.sdc_rate_at(TimeSpan::from_years(8.0));
+        assert!(old > 10.0 * young, "old {old} vs young {young}");
+    }
+
+    #[test]
+    fn expected_events_matches_hazard_integral() {
+        let w = WearoutModel::new(0.1, 2.0, 5.0);
+        // ∫₀ᴸ 0.1·(t/5) dt = 0.1·L²/10 at L=10 → 1.0.
+        let events = w.expected_events(TimeSpan::from_years(10.0));
+        assert!((events - 1.0).abs() < 1e-9, "events {events}");
+    }
+
+    #[test]
+    fn embodied_per_year_falls_with_life_extension() {
+        let t = LifetimeTradeoff::gpu_server();
+        let short = t.at(TimeSpan::from_years(3.0));
+        let long = t.at(TimeSpan::from_years(6.0));
+        assert!(long.embodied_per_year < short.embodied_per_year);
+        assert!(long.mitigation_per_year > short.mitigation_per_year);
+    }
+
+    #[test]
+    fn optimal_lifetime_is_interior() {
+        // Too short wastes embodied carbon; too long drowns in SDC re-runs.
+        let t = LifetimeTradeoff::gpu_server();
+        let grid: Vec<f64> = (1..=12).map(|y| y as f64).collect();
+        let best = optimal_lifetime(&t, &grid);
+        let years = best.lifetime.as_years();
+        assert!(years > 2.0 && years < 11.0, "optimum at {years} y");
+        // The optimum beats both extremes.
+        let short = t.at(TimeSpan::from_years(1.0));
+        let long = t.at(TimeSpan::from_years(12.0));
+        assert!(best.total_per_year() <= short.total_per_year());
+        assert!(best.total_per_year() <= long.total_per_year());
+    }
+
+    #[test]
+    fn cheap_mitigation_favors_longer_life() {
+        let embodied = Co2e::from_kilograms(2000.0);
+        let grid: Vec<f64> = (1..=12).map(|y| y as f64).collect();
+        let cheap = LifetimeTradeoff::new(
+            embodied,
+            WearoutModel::fleet_processor(),
+            Co2e::from_kilograms(5.0),
+        );
+        let costly = LifetimeTradeoff::new(
+            embodied,
+            WearoutModel::fleet_processor(),
+            Co2e::from_kilograms(200.0),
+        );
+        let cheap_best = optimal_lifetime(&cheap, &grid).lifetime;
+        let costly_best = optimal_lifetime(&costly, &grid).lifetime;
+        assert!(cheap_best > costly_best);
+    }
+
+    #[test]
+    fn total_per_year_sums_components() {
+        let p = LifetimeTradeoff::gpu_server().at(TimeSpan::from_years(4.0));
+        assert_eq!(
+            p.total_per_year(),
+            p.embodied_per_year + p.mitigation_per_year
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape >= 1")]
+    fn rejects_infant_mortality_shape() {
+        let _ = WearoutModel::new(0.1, 0.5, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lifetime must be positive")]
+    fn rejects_zero_lifetime() {
+        let _ = LifetimeTradeoff::gpu_server().at(TimeSpan::ZERO);
+    }
+}

@@ -1,0 +1,216 @@
+//! Server SKUs (§III-C).
+//!
+//! Facebook customizes server SKUs per internal workload — compute, memcached,
+//! storage tiers, and ML accelerators. Each SKU here carries a power envelope
+//! (idle/peak) and an embodied-carbon model, so fleet simulations account for
+//! both sides of the footprint.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use sustain_core::embodied::EmbodiedModel;
+use sustain_core::units::{Co2e, Fraction, Power, TimeSpan};
+use sustain_telemetry::device::{LinearPowerModel, PowerModel};
+
+/// The workload tier a server SKU is customized for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ServerKind {
+    /// Web/compute tier.
+    Compute,
+    /// Memcached tier (DRAM-heavy).
+    Memcached,
+    /// Storage tier (disk-heavy).
+    Storage,
+    /// GPU training server (8 accelerators).
+    GpuTraining,
+    /// CPU inference server.
+    Inference,
+}
+
+impl ServerKind {
+    /// All SKUs, in declaration order.
+    pub const ALL: [ServerKind; 5] = [
+        ServerKind::Compute,
+        ServerKind::Memcached,
+        ServerKind::Storage,
+        ServerKind::GpuTraining,
+        ServerKind::Inference,
+    ];
+}
+
+impl fmt::Display for ServerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ServerKind::Compute => "compute",
+            ServerKind::Memcached => "memcached",
+            ServerKind::Storage => "storage",
+            ServerKind::GpuTraining => "gpu-training",
+            ServerKind::Inference => "inference",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A server SKU: power envelope, accelerator count and embodied model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSku {
+    kind: ServerKind,
+    power: LinearPowerModel,
+    accelerators: u32,
+    embodied: EmbodiedModel,
+}
+
+impl ServerSku {
+    /// Creates a SKU from its parts.
+    pub fn new(
+        kind: ServerKind,
+        power: LinearPowerModel,
+        accelerators: u32,
+        embodied: EmbodiedModel,
+    ) -> ServerSku {
+        ServerSku {
+            kind,
+            power,
+            accelerators,
+            embodied,
+        }
+    }
+
+    /// The paper-calibrated preset for a kind: GPU training servers carry the
+    /// 2000 kg embodied footprint (8×V100-class, ~2.8 kW peak), all others are
+    /// CPU-class at 1000 kg.
+    pub fn preset(kind: ServerKind) -> ServerSku {
+        let (idle_w, peak_w, accels) = match kind {
+            ServerKind::Compute => (90.0, 400.0, 0),
+            ServerKind::Memcached => (110.0, 350.0, 0),
+            ServerKind::Storage => (140.0, 420.0, 0),
+            ServerKind::GpuTraining => (420.0, 2800.0, 8),
+            ServerKind::Inference => (100.0, 450.0, 0),
+        };
+        let embodied = if kind == ServerKind::GpuTraining {
+            EmbodiedModel::gpu_server().expect("preset parameters are valid")
+        } else {
+            EmbodiedModel::cpu_server().expect("preset parameters are valid")
+        };
+        ServerSku::new(
+            kind,
+            LinearPowerModel::new(Power::from_watts(idle_w), Power::from_watts(peak_w)),
+            accels,
+            embodied,
+        )
+    }
+
+    /// The SKU kind.
+    pub fn kind(&self) -> ServerKind {
+        self.kind
+    }
+
+    /// Number of accelerators on board.
+    pub fn accelerators(&self) -> u32 {
+        self.accelerators
+    }
+
+    /// The power model.
+    pub fn power_model(&self) -> &LinearPowerModel {
+        &self.power
+    }
+
+    /// Power draw at a utilization.
+    pub fn power(&self, utilization: Fraction) -> Power {
+        self.power.power(utilization)
+    }
+
+    /// The embodied model.
+    pub fn embodied(&self) -> &EmbodiedModel {
+        self.embodied_ref()
+    }
+
+    fn embodied_ref(&self) -> &EmbodiedModel {
+        &self.embodied
+    }
+
+    /// Embodied carbon amortized per unit wall-clock time (time-share basis).
+    pub fn embodied_rate(&self) -> Co2e {
+        self.embodied
+            .amortize(
+                TimeSpan::from_secs(1.0),
+                sustain_core::embodied::AllocationPolicy::TimeShare,
+            )
+            .expect("1 second is a valid span")
+    }
+
+    /// Performance-density argument (§III-C): how many of `other` this SKU
+    /// replaces if it has `throughput_ratio`× the throughput; returns the
+    /// embodied carbon avoided per replacement server deployed.
+    pub fn consolidation_saving(&self, other: &ServerSku, throughput_ratio: f64) -> Co2e {
+        other.embodied.total() * throughput_ratio - self.embodied.total()
+    }
+}
+
+impl fmt::Display for ServerSku {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sku ({} accelerators, peak {})",
+            self.kind,
+            self.accelerators,
+            self.power.peak_power()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_exist_for_all_kinds() {
+        for kind in ServerKind::ALL {
+            let sku = ServerSku::preset(kind);
+            assert_eq!(sku.kind(), kind);
+            assert!(sku.power(Fraction::ONE) > sku.power(Fraction::ZERO));
+        }
+    }
+
+    #[test]
+    fn gpu_training_sku_matches_paper_embodied() {
+        let sku = ServerSku::preset(ServerKind::GpuTraining);
+        assert_eq!(sku.embodied().total(), Co2e::from_kilograms(2000.0));
+        assert_eq!(sku.accelerators(), 8);
+        // CPU SKUs carry half.
+        let cpu = ServerSku::preset(ServerKind::Compute);
+        assert_eq!(cpu.embodied().total(), Co2e::from_kilograms(1000.0));
+    }
+
+    #[test]
+    fn embodied_rate_is_positive_and_tiny_per_second() {
+        let sku = ServerSku::preset(ServerKind::GpuTraining);
+        let rate = sku.embodied_rate();
+        assert!(rate > Co2e::ZERO);
+        // 2000 kg over 4 years ≈ 15.9 mg/s.
+        assert!((rate.as_grams() - 0.01585).abs() < 0.001, "rate {rate:?}");
+    }
+
+    #[test]
+    fn consolidation_saves_embodied_carbon() {
+        // One accelerator server replacing 3 CPU servers' throughput saves
+        // embodied carbon overall.
+        let gpu = ServerSku::preset(ServerKind::GpuTraining);
+        let cpu = ServerSku::preset(ServerKind::Inference);
+        let saving = gpu.consolidation_saving(&cpu, 3.0);
+        assert!(
+            saving > Co2e::ZERO,
+            "3 CPU servers (3 t) > 1 GPU server (2 t)"
+        );
+        // Replacing a single CPU server is a net loss.
+        assert!(gpu.consolidation_saving(&cpu, 1.0) < Co2e::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        let sku = ServerSku::preset(ServerKind::GpuTraining);
+        assert!(sku.to_string().contains("gpu-training"));
+        assert_eq!(ServerKind::Memcached.to_string(), "memcached");
+    }
+}

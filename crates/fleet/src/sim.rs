@@ -1,0 +1,357 @@
+//! Discrete-time fleet simulation.
+//!
+//! [`FleetSim`] ties the workspace together: calibrated job arrivals
+//! ([`JobGenerator`]) land on a GPU [`Cluster`] inside a [`DataCenter`];
+//! per-GPU utilizations come from the Figure 10 distribution; energy is
+//! integrated hourly through the SKU power models; and the result is a full
+//! [`CarbonFootprint`] (operational under both accounting bases + amortized
+//! embodied carbon) plus queueing/utilization statistics.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use sustain_core::footprint::CarbonFootprint;
+use sustain_core::intensity::AccountingBasis;
+use sustain_core::stats::Poisson;
+use sustain_core::units::{Co2e, Energy, Fraction, TimeSpan};
+use sustain_telemetry::device::PowerModel;
+use sustain_workload::training::JobGenerator;
+
+use crate::cluster::Cluster;
+use crate::datacenter::DataCenter;
+use crate::utilization::UtilizationModel;
+
+/// Configuration of a fleet simulation run.
+#[derive(Debug, Clone)]
+pub struct FleetSim {
+    cluster: Cluster,
+    datacenter: DataCenter,
+    jobs: JobGenerator,
+    utilization: UtilizationModel,
+    arrivals_per_day: f64,
+    horizon: TimeSpan,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RunningJob {
+    gpus: u32,
+    remaining_gpu_hours: f64,
+    utilization: Fraction,
+}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSimReport {
+    /// Total IT energy consumed by the cluster (busy + idle GPUs).
+    pub it_energy: Energy,
+    /// Location-based operational emissions.
+    pub operational_location: Co2e,
+    /// Market-based operational emissions.
+    pub operational_market: Co2e,
+    /// Embodied carbon amortized over the simulated horizon (time-share).
+    pub embodied: Co2e,
+    /// Jobs completed within the horizon.
+    pub jobs_completed: u64,
+    /// Jobs still queued or running at the end.
+    pub jobs_outstanding: u64,
+    /// Mean fraction of GPUs allocated to jobs over the run.
+    pub mean_allocation: Fraction,
+    /// Mean achieved utilization across allocated GPU-hours.
+    pub mean_busy_utilization: Fraction,
+}
+
+impl FleetSimReport {
+    /// The combined footprint under a basis (embodied is basis-independent).
+    pub fn footprint(&self, basis: AccountingBasis) -> CarbonFootprint {
+        let op = match basis {
+            AccountingBasis::LocationBased => self.operational_location,
+            AccountingBasis::MarketBased => self.operational_market,
+        };
+        CarbonFootprint::new(op, self.embodied)
+    }
+}
+
+impl FleetSim {
+    /// Creates a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals_per_day` is not positive or the horizon is not
+    /// positive.
+    pub fn new(
+        cluster: Cluster,
+        datacenter: DataCenter,
+        jobs: JobGenerator,
+        utilization: UtilizationModel,
+        arrivals_per_day: f64,
+        horizon: TimeSpan,
+    ) -> FleetSim {
+        assert!(arrivals_per_day > 0.0, "arrival rate must be positive");
+        assert!(horizon.as_secs() > 0.0, "horizon must be positive");
+        FleetSim {
+            cluster,
+            datacenter,
+            jobs,
+            utilization,
+            arrivals_per_day,
+            horizon,
+        }
+    }
+
+    /// Runs the simulation at hourly steps under a *time-varying* grid
+    /// intensity (e.g. from [`crate::renewable::VariableIntensity`] or an
+    /// [`IntensitySeries`](crate::scheduler::IntensitySeries)): each hour's
+    /// energy is converted at that hour's intensity, which is how
+    /// carbon-aware operation is actually accounted.
+    pub fn run_with_intensity<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        series: &crate::scheduler::IntensitySeries,
+    ) -> FleetSimReport {
+        let mut report = self.run_inner(rng, Some(series));
+        report.operational_market = report.operational_location
+            * self
+                .datacenter
+                .account()
+                .renewable_matching()
+                .complement()
+                .value();
+        report
+    }
+
+    /// Runs the simulation at hourly steps.
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> FleetSimReport {
+        self.run_inner(rng, None)
+    }
+
+    fn run_inner<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        variable_intensity: Option<&crate::scheduler::IntensitySeries>,
+    ) -> FleetSimReport {
+        let step = TimeSpan::from_hours(1.0);
+        let steps = self.horizon.as_hours().ceil() as usize;
+        let total_gpus = self.cluster.total_gpus() as f64;
+        let arrivals = Poisson::new(self.arrivals_per_day / 24.0).expect("positive arrival rate");
+
+        let mut queue: VecDeque<RunningJob> = VecDeque::new();
+        let mut running: Vec<RunningJob> = Vec::new();
+        let mut free_gpus = self.cluster.total_gpus();
+
+        let mut it_energy = Energy::ZERO;
+        let mut completed = 0u64;
+        let mut allocation_acc = 0.0;
+        let mut busy_util_acc = 0.0;
+        let mut busy_gpu_hours = 0.0;
+
+        let per_gpu = |sku_power: &dyn PowerModel, u: Fraction| sku_power.power(u);
+        let gpus_per_server = self.cluster.sku().accelerators().max(1) as f64;
+
+        let account = self.datacenter.account();
+        let mut variable_co2 = Co2e::ZERO;
+        for hour in 0..steps {
+            let mut hour_energy = Energy::ZERO;
+            // Arrivals.
+            for _ in 0..arrivals.sample_count(rng) {
+                let job = self.jobs.sample(rng);
+                queue.push_back(RunningJob {
+                    gpus: job.gpus().min(self.cluster.total_gpus()),
+                    remaining_gpu_hours: job.gpu_days() * 24.0,
+                    utilization: self.utilization.sample(rng),
+                });
+            }
+            // Placement (FIFO).
+            while let Some(job) = queue.front() {
+                if job.gpus <= free_gpus {
+                    let job = queue.pop_front().expect("front exists");
+                    free_gpus -= job.gpus;
+                    running.push(job);
+                } else {
+                    break;
+                }
+            }
+            // Advance running jobs one hour and integrate energy.
+            let mut still_running = Vec::with_capacity(running.len());
+            for mut job in running.drain(..) {
+                let gpu_hours = job.gpus as f64;
+                let power = per_gpu(self.cluster.sku().power_model(), job.utilization);
+                // Per-GPU share of the server power envelope.
+                hour_energy += power * step * (job.gpus as f64 / gpus_per_server);
+                busy_util_acc += job.utilization.value() * gpu_hours;
+                busy_gpu_hours += gpu_hours;
+                job.remaining_gpu_hours -= gpu_hours * job.utilization.value();
+                if job.remaining_gpu_hours <= 0.0 {
+                    completed += 1;
+                    free_gpus += job.gpus;
+                } else {
+                    still_running.push(job);
+                }
+            }
+            running = still_running;
+            // Idle servers draw idle power.
+            let idle_fraction = free_gpus as f64 / total_gpus;
+            let idle_servers = self.cluster.servers() as f64 * idle_fraction;
+            hour_energy += self.cluster.sku().power(Fraction::ZERO) * step * idle_servers;
+            allocation_acc += 1.0 - idle_fraction;
+            it_energy += hour_energy;
+            if let Some(series) = variable_intensity {
+                let facility = account.pue().facility_energy(hour_energy);
+                variable_co2 += series.at(hour).emissions(facility);
+            }
+        }
+
+        // Embodied carbon on a time-share basis: the whole cluster exists for
+        // the whole horizon, whoever used it.
+        let embodied = self.cluster.total_embodied()
+            * (self.horizon / self.cluster.sku().embodied().lifetime());
+
+        let operational_location = if variable_intensity.is_some() {
+            variable_co2
+        } else {
+            account.location_based(it_energy)
+        };
+        FleetSimReport {
+            it_energy,
+            operational_location,
+            operational_market: account.market_based(it_energy),
+            embodied,
+            jobs_completed: completed,
+            jobs_outstanding: (queue.len() + running.len()) as u64,
+            mean_allocation: Fraction::saturating(allocation_acc / steps as f64),
+            mean_busy_utilization: if busy_gpu_hours > 0.0 {
+                Fraction::saturating(busy_util_acc / busy_gpu_hours)
+            } else {
+                Fraction::ZERO
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sustain_core::intensity::GridRegion;
+    use sustain_core::units::Power;
+    use sustain_workload::training::JobClass;
+
+    fn sim(servers: u32, arrivals_per_day: f64, days: f64) -> FleetSim {
+        FleetSim::new(
+            Cluster::gpu_training(servers),
+            DataCenter::hyperscale("dc", GridRegion::UsAverage, Power::from_megawatts(10.0)),
+            JobGenerator::calibrated(JobClass::Research).unwrap(),
+            UtilizationModel::research_cluster(),
+            arrivals_per_day,
+            TimeSpan::from_days(days),
+        )
+    }
+
+    #[test]
+    fn busy_fleet_completes_jobs_and_burns_energy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = sim(50, 40.0, 30.0).run(&mut rng);
+        assert!(
+            report.jobs_completed > 100,
+            "completed {}",
+            report.jobs_completed
+        );
+        assert!(report.it_energy > Energy::ZERO);
+        assert!(report.operational_location > Co2e::ZERO);
+        // Hyperscale DC fully matches renewables.
+        assert!(report.operational_market.is_zero());
+    }
+
+    #[test]
+    fn embodied_scales_with_horizon() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let short = sim(10, 10.0, 10.0).run(&mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let long = sim(10, 10.0, 40.0).run(&mut rng);
+        assert!((long.embodied / short.embodied - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_busy_utilization_matches_fig10_band() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = sim(50, 40.0, 30.0).run(&mut rng);
+        let u = report.mean_busy_utilization.value();
+        assert!((0.3..0.5).contains(&u), "mean busy utilization {u}");
+    }
+
+    #[test]
+    fn overloaded_fleet_builds_backlog() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // 2 servers (16 GPUs) with 100 jobs/day: hopeless backlog.
+        let report = sim(2, 100.0, 10.0).run(&mut rng);
+        assert!(report.jobs_outstanding > 50);
+        assert!(report.mean_allocation.value() > 0.9);
+    }
+
+    #[test]
+    fn idle_fleet_still_draws_energy() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Tiny arrival rate: fleet nearly idle but idle power accrues.
+        let report = sim(20, 0.05, 10.0).run(&mut rng);
+        assert!(report.mean_allocation.value() < 0.3);
+        // 20 servers × 420 W idle × 240 h ≈ 2 MWh floor.
+        assert!(report.it_energy.as_megawatt_hours() > 1.5);
+    }
+
+    #[test]
+    fn footprint_combines_bases() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let report = sim(10, 10.0, 10.0).run(&mut rng);
+        let loc = report.footprint(AccountingBasis::LocationBased);
+        let market = report.footprint(AccountingBasis::MarketBased);
+        assert!(loc.total() > market.total());
+        assert_eq!(loc.embodied(), market.embodied());
+        // With 100% matching, market-based fleet carbon is pure embodied.
+        assert!((market.embodied_share().value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variable_intensity_accounting_brackets_constant() {
+        use crate::scheduler::IntensitySeries;
+        use sustain_core::intensity::CarbonIntensity;
+        // A flat series must agree exactly with the constant-intensity path;
+        // a solar series must land between its min and max hourly intensity.
+        let config = sim(10, 10.0, 5.0);
+        let flat =
+            IntensitySeries::new(vec![
+                CarbonIntensity::from_grams_per_kwh(config_intensity_g());
+                200
+            ]);
+        let a = config.run_with_intensity(&mut StdRng::seed_from_u64(9), &flat);
+        let b = sim(10, 10.0, 5.0).run(&mut StdRng::seed_from_u64(9));
+        assert!(
+            (a.operational_location.as_grams() - b.operational_location.as_grams()).abs()
+                < b.operational_location.as_grams() * 1e-9,
+            "flat series must match constant accounting"
+        );
+        // Market basis stays zero under 100% matching.
+        assert!(a.operational_market.is_zero());
+
+        let solar = IntensitySeries::solar_day(6);
+        let c = sim(10, 10.0, 5.0).run_with_intensity(&mut StdRng::seed_from_u64(9), &solar);
+        let lo = c.it_energy.as_kilowatt_hours() * 1.1 * 100.0;
+        let hi = c.it_energy.as_kilowatt_hours() * 1.1 * 600.0;
+        let got = c.operational_location.as_grams();
+        assert!(
+            got > lo && got < hi,
+            "solar-accounted CO2 {got} outside [{lo}, {hi}]"
+        );
+    }
+
+    fn config_intensity_g() -> f64 {
+        GridRegion::UsAverage.intensity().as_grams_per_kwh()
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a = sim(10, 10.0, 5.0).run(&mut StdRng::seed_from_u64(7));
+        let b = sim(10, 10.0, 5.0).run(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

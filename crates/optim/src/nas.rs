@@ -1,0 +1,239 @@
+//! NAS/HPO search-cost models (§IV-B).
+//!
+//! "Strubell et al. show that grid-search NAS can incur over 3000×
+//! environmental footprint overhead. Utilizing much more sample-efficient NAS
+//! and HPO methods can translate directly into carbon footprint improvement.
+//! ... By detecting and stopping under-performing training workflows early,
+//! unnecessary training cycles can be eliminated."
+//!
+//! The model: a search space of candidate configurations; each strategy needs
+//! a different number of (possibly truncated) trials to find a near-optimal
+//! configuration. Costs are expressed as multiples of one full training run.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use sustain_core::units::Energy;
+
+/// A hyper-parameter / architecture search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SearchStrategy {
+    /// Exhaustive grid search over the full space.
+    Grid,
+    /// Uniform random search with a trial budget.
+    Random {
+        /// Number of full-training trials.
+        trials: u32,
+    },
+    /// Model-based (Bayesian) optimization: reaches random-search quality in
+    /// `efficiency`-fold fewer trials (Turner et al. report ~4×).
+    Bayesian {
+        /// Trials a random search would need for the same quality.
+        equivalent_random_trials: u32,
+        /// Sample-efficiency multiple over random search.
+        efficiency: f64,
+    },
+}
+
+impl SearchStrategy {
+    /// Number of full-training-equivalent trials the strategy consumes over
+    /// a search space of `space_size` configurations.
+    pub fn trial_cost(&self, space_size: u32) -> f64 {
+        match self {
+            SearchStrategy::Grid => space_size as f64,
+            SearchStrategy::Random { trials } => *trials as f64,
+            SearchStrategy::Bayesian {
+                equivalent_random_trials,
+                efficiency,
+            } => *equivalent_random_trials as f64 / efficiency.max(1.0),
+        }
+    }
+
+    /// Search energy given the energy of one full training run.
+    pub fn energy(&self, space_size: u32, per_trial: Energy) -> Energy {
+        per_trial * self.trial_cost(space_size)
+    }
+
+    /// Overhead factor relative to a single training run.
+    pub fn overhead(&self, space_size: u32) -> f64 {
+        self.trial_cost(space_size)
+    }
+}
+
+impl fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchStrategy::Grid => f.write_str("grid"),
+            SearchStrategy::Random { trials } => write!(f, "random({trials})"),
+            SearchStrategy::Bayesian { .. } => f.write_str("bayesian"),
+        }
+    }
+}
+
+/// Early stopping: train every trial, but kill under-performers after a
+/// fraction of the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EarlyStopping {
+    /// Fraction of the full budget at which trials are evaluated.
+    pub checkpoint: f64,
+    /// Fraction of trials allowed to continue past the checkpoint.
+    pub survivors: f64,
+}
+
+impl EarlyStopping {
+    /// A successive-halving-like configuration: evaluate at 25 % of budget,
+    /// keep the top 25 %.
+    pub fn successive_halving() -> EarlyStopping {
+        EarlyStopping {
+            checkpoint: 0.25,
+            survivors: 0.25,
+        }
+    }
+
+    /// Cost multiplier applied to a trial budget: survivors pay full price,
+    /// the rest only pay up to the checkpoint.
+    pub fn cost_factor(&self) -> f64 {
+        self.survivors + (1.0 - self.survivors) * self.checkpoint
+    }
+
+    /// Trials-cost of a random search with early stopping.
+    pub fn trial_cost(&self, trials: u32) -> f64 {
+        trials as f64 * self.cost_factor()
+    }
+}
+
+/// A synthetic search space for end-to-end strategy evaluation: quality of a
+/// configuration is drawn uniformly, and a strategy's *regret* is the gap to
+/// the best configuration it could have found.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpace {
+    size: u32,
+}
+
+impl SyntheticSpace {
+    /// Creates a space of `size` configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: u32) -> SyntheticSpace {
+        assert!(size > 0, "space must be non-empty");
+        SyntheticSpace { size }
+    }
+
+    /// Number of configurations.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Expected best quality (in `[0, 1]`) found after `trials` uniform
+    /// random draws: `trials / (trials + 1)` for a Uniform(0,1) objective.
+    pub fn expected_best_of(&self, trials: u32) -> f64 {
+        let t = trials.min(self.size) as f64;
+        t / (t + 1.0)
+    }
+
+    /// Simulates a random search, returning the best quality found.
+    pub fn random_search<R: Rng + ?Sized>(&self, rng: &mut R, trials: u32) -> f64 {
+        (0..trials.min(self.size))
+            .map(|_| rng.gen::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_search_overhead_matches_strubell_anchor() {
+        // A 3000-point grid costs >3000× a single training run.
+        let grid = SearchStrategy::Grid;
+        assert!(grid.overhead(3000) >= 3000.0);
+        let e = grid.energy(3000, Energy::from_kilowatt_hours(1.0));
+        assert!((e.as_megawatt_hours() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_efficient_methods_slash_cost() {
+        let space = 3000;
+        let grid = SearchStrategy::Grid.trial_cost(space);
+        let random = SearchStrategy::Random { trials: 60 }.trial_cost(space);
+        let bayes = SearchStrategy::Bayesian {
+            equivalent_random_trials: 60,
+            efficiency: 4.0,
+        }
+        .trial_cost(space);
+        assert!(grid / random >= 50.0);
+        assert!((random / bayes - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_stopping_cuts_cost_substantially() {
+        let es = EarlyStopping::successive_halving();
+        // 0.25 + 0.75×0.25 = 0.4375 of the naive cost.
+        assert!((es.cost_factor() - 0.4375).abs() < 1e-12);
+        assert!((es.trial_cost(100) - 43.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_best_improves_with_trials_with_diminishing_returns() {
+        let s = SyntheticSpace::new(10_000);
+        let q10 = s.expected_best_of(10);
+        let q100 = s.expected_best_of(100);
+        let q1000 = s.expected_best_of(1000);
+        assert!(q100 > q10 && q1000 > q100);
+        // Diminishing: the second decade buys less than the first.
+        assert!((q100 - q10) > (q1000 - q100));
+    }
+
+    #[test]
+    fn random_search_simulation_matches_expectation() {
+        let s = SyntheticSpace::new(100_000);
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 2000;
+        let mean: f64 = (0..n).map(|_| s.random_search(&mut rng, 50)).sum::<f64>() / n as f64;
+        let expected = s.expected_best_of(50);
+        assert!((mean - expected).abs() < 0.01, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn diminishing_returns_argue_against_grid() {
+        // 97% of achievable quality needs ~32 random trials; the 3000-point
+        // grid buys 3 more points of quality for ~94× the energy.
+        let s = SyntheticSpace::new(3000);
+        let random_cost = 32.0;
+        let grid_cost = SearchStrategy::Grid.trial_cost(3000);
+        assert!(s.expected_best_of(32) > 0.96);
+        assert!(grid_cost / random_cost > 90.0);
+    }
+
+    #[test]
+    fn bayesian_efficiency_floor() {
+        // efficiency below 1 is clamped (can't be worse than random here).
+        let b = SearchStrategy::Bayesian {
+            equivalent_random_trials: 10,
+            efficiency: 0.5,
+        };
+        assert_eq!(b.trial_cost(100), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "space must be non-empty")]
+    fn rejects_empty_space() {
+        let _ = SyntheticSpace::new(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SearchStrategy::Grid.to_string(), "grid");
+        assert_eq!(
+            SearchStrategy::Random { trials: 5 }.to_string(),
+            "random(5)"
+        );
+    }
+}

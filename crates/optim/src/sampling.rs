@@ -1,0 +1,194 @@
+//! Data-sampling proxy evaluation (§IV-A).
+//!
+//! "Sachdeva et al. demonstrated that intelligent data sampling with merely
+//! 10 % of data sub-samples can effectively preserve the relative ranking
+//! performance of different recommendation algorithms ... with an average of
+//! 5.8× execution-time speedup."
+//!
+//! The simulation: `k` candidate algorithms have true quality scores; a proxy
+//! evaluation on an `s` fraction of the data observes each score with noise
+//! `σ/√(s·n)`. Ranking preservation is measured by Kendall's τ between the
+//! true and proxy rankings; speedup follows an Amdahl-style model with a
+//! fixed overhead.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use sustain_core::stats::{Normal, Sampler};
+use sustain_core::units::Fraction;
+
+/// Kendall's τ rank correlation between two equally-long score slices.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ or are below 2.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must be equally long");
+    assert!(a.len() >= 2, "need at least two items to rank");
+    let n = a.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let prod = da * db;
+            if prod > 0.0 {
+                concordant += 1;
+            } else if prod < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Configuration of a proxy-evaluation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProxyEvaluation {
+    /// Number of candidate algorithms being ranked.
+    pub algorithms: usize,
+    /// Spread of true algorithm qualities.
+    pub quality_spread: f64,
+    /// Evaluation noise at full data (σ at s = 1).
+    pub full_data_noise: f64,
+    /// Fixed per-experiment overhead as a fraction of full-data runtime
+    /// (data loading, setup) — bounds the achievable speedup.
+    pub fixed_overhead: f64,
+}
+
+impl ProxyEvaluation {
+    /// The SVP-CF-like calibration: 12 algorithms, noise small relative to
+    /// spread, overhead set so `s = 0.1` yields the published 5.8× speedup.
+    pub fn paper_default() -> ProxyEvaluation {
+        ProxyEvaluation {
+            algorithms: 12,
+            quality_spread: 1.0,
+            full_data_noise: 0.02,
+            // 1 / (0.1 + c) = 5.8  ⇒  c ≈ 0.0724.
+            fixed_overhead: 1.0 / 5.8 - 0.1,
+        }
+    }
+
+    /// Execution-time speedup at sample fraction `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero.
+    pub fn speedup(&self, sample_fraction: Fraction) -> f64 {
+        assert!(
+            sample_fraction.value() > 0.0,
+            "sample fraction must be positive"
+        );
+        1.0 / (sample_fraction.value() + self.fixed_overhead)
+    }
+
+    /// Runs one ranking experiment: returns Kendall's τ between the true
+    /// ranking and the proxy ranking at sample fraction `s`.
+    pub fn run_once<R: Rng + ?Sized>(&self, rng: &mut R, sample_fraction: Fraction) -> f64 {
+        assert!(
+            sample_fraction.value() > 0.0,
+            "sample fraction must be positive"
+        );
+        let spread = Normal::new(0.0, self.quality_spread).expect("valid spread");
+        let truth: Vec<f64> = (0..self.algorithms).map(|_| spread.sample(rng)).collect();
+        let sigma = self.full_data_noise / sample_fraction.value().sqrt();
+        let noise = Normal::new(0.0, sigma).expect("valid noise");
+        let proxy: Vec<f64> = truth.iter().map(|t| t + noise.sample(rng)).collect();
+        kendall_tau(&truth, &proxy)
+    }
+
+    /// Mean τ over `repeats` experiments.
+    pub fn mean_tau<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sample_fraction: Fraction,
+        repeats: usize,
+    ) -> f64 {
+        (0..repeats.max(1))
+            .map(|_| self.run_once(rng, sample_fraction))
+            .sum::<f64>()
+            / repeats.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let same = [10.0, 20.0, 30.0, 40.0];
+        let reversed = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&a, &same) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&a, &reversed) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ten_percent_sample_preserves_ranking_at_5_8x_speedup() {
+        // The paper's §IV-A anchor.
+        let cfg = ProxyEvaluation::paper_default();
+        let s = Fraction::saturating(0.10);
+        assert!((cfg.speedup(s) - 5.8).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(17);
+        let tau = cfg.mean_tau(&mut rng, s, 300);
+        assert!(tau > 0.9, "ranking must be preserved, tau {tau}");
+    }
+
+    #[test]
+    fn tiny_samples_destroy_ranking() {
+        let cfg = ProxyEvaluation {
+            full_data_noise: 0.5,
+            ..ProxyEvaluation::paper_default()
+        };
+        let mut rng = StdRng::seed_from_u64(18);
+        let tau_tiny = cfg.mean_tau(&mut rng, Fraction::saturating(0.001), 200);
+        let tau_full = cfg.mean_tau(&mut rng, Fraction::ONE, 200);
+        assert!(
+            tau_full > tau_tiny + 0.1,
+            "full {tau_full} vs tiny {tau_tiny}"
+        );
+    }
+
+    #[test]
+    fn speedup_has_diminishing_returns() {
+        let cfg = ProxyEvaluation::paper_default();
+        let s1 = cfg.speedup(Fraction::saturating(0.10));
+        let s2 = cfg.speedup(Fraction::saturating(0.01));
+        // 10× less data gives < 10× more speedup because of fixed overheads.
+        assert!(
+            s2 / s1 < 3.0,
+            "overhead must bound speedup, got {}",
+            s2 / s1
+        );
+        assert!(cfg.speedup(Fraction::ONE) < 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn tau_improves_with_sample_size() {
+        let cfg = ProxyEvaluation {
+            full_data_noise: 0.3,
+            ..ProxyEvaluation::paper_default()
+        };
+        let mut rng = StdRng::seed_from_u64(19);
+        let lo = cfg.mean_tau(&mut rng, Fraction::saturating(0.02), 300);
+        let hi = cfg.mean_tau(&mut rng, Fraction::saturating(0.5), 300);
+        assert!(hi > lo, "hi {hi} vs lo {lo}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn tau_rejects_mismatched_lengths() {
+        let _ = kendall_tau(&[1.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample fraction must be positive")]
+    fn rejects_zero_sample() {
+        let _ = ProxyEvaluation::paper_default().speedup(Fraction::ZERO);
+    }
+}

@@ -1,0 +1,212 @@
+//! Hierarchical telemetry roll-ups: device → host → rack → cluster.
+//!
+//! Fleet telemetry is consumed at aggregation levels — a researcher sees
+//! their job's GPUs, a capacity planner sees racks, the sustainability team
+//! sees clusters. [`TraceTree`] stores labelled per-device traces in a
+//! hierarchy and rolls power/energy up any subtree.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use sustain_core::units::{Energy, Power};
+
+use crate::trace::PowerTrace;
+
+/// A node path like `"cluster0/rack3/host12/gpu5"`. Segments are separated by
+/// `/`; every prefix is an aggregation point.
+pub type NodePath = String;
+
+/// A hierarchy of labelled power traces with subtree roll-ups.
+///
+/// ```rust
+/// use sustain_telemetry::hierarchy::TraceTree;
+/// use sustain_telemetry::trace::PowerTrace;
+/// use sustain_core::units::{Power, TimeSpan};
+///
+/// let mut tree = TraceTree::new();
+/// let mut gpu = PowerTrace::new();
+/// gpu.push(TimeSpan::from_secs(0.0), Power::from_watts(300.0));
+/// gpu.push(TimeSpan::from_secs(3600.0), Power::from_watts(300.0));
+/// tree.insert("rack0/host0/gpu0", gpu.clone());
+/// tree.insert("rack0/host0/gpu1", gpu);
+/// // The rack subtree rolls both GPUs up.
+/// assert!((tree.subtree_energy("rack0").as_watt_hours() - 600.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceTree {
+    leaves: BTreeMap<NodePath, PowerTrace>,
+}
+
+impl TraceTree {
+    /// Creates an empty tree.
+    pub fn new() -> TraceTree {
+        TraceTree::default()
+    }
+
+    /// Inserts (or replaces) a leaf trace at a path.
+    pub fn insert(&mut self, path: impl Into<NodePath>, trace: PowerTrace) -> &mut TraceTree {
+        self.leaves.insert(path.into(), trace);
+        self
+    }
+
+    /// The trace at an exact leaf path.
+    pub fn leaf(&self, path: &str) -> Option<&PowerTrace> {
+        self.leaves.get(path)
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Iterates leaves under a subtree prefix (`""` = the whole tree).
+    pub fn subtree(&self, prefix: &str) -> impl Iterator<Item = (&str, &PowerTrace)> {
+        let prefix = prefix.trim_end_matches('/').to_owned();
+        self.leaves.iter().filter_map(move |(path, trace)| {
+            let matches =
+                prefix.is_empty() || path == &prefix || path.starts_with(&format!("{prefix}/"));
+            matches.then_some((path.as_str(), trace))
+        })
+    }
+
+    /// Total energy of a subtree.
+    pub fn subtree_energy(&self, prefix: &str) -> Energy {
+        self.subtree(prefix).map(|(_, t)| t.energy()).sum()
+    }
+
+    /// Combined power trace of a subtree (point-wise sum on the union grid).
+    pub fn subtree_trace(&self, prefix: &str) -> PowerTrace {
+        self.subtree(prefix)
+            .fold(PowerTrace::new(), |acc, (_, t)| acc.combine(t))
+    }
+
+    /// Peak combined power of a subtree.
+    pub fn subtree_peak(&self, prefix: &str) -> Power {
+        self.subtree_trace(prefix).peak_power()
+    }
+
+    /// Energy per direct child of a prefix — a capacity planner's rack view.
+    pub fn children_energy(&self, prefix: &str) -> BTreeMap<String, Energy> {
+        let prefix = prefix.trim_end_matches('/');
+        let skip = if prefix.is_empty() {
+            0
+        } else {
+            prefix.len() + 1
+        };
+        let mut out: BTreeMap<String, Energy> = BTreeMap::new();
+        for (path, trace) in self.subtree(prefix) {
+            let rest = &path[skip.min(path.len())..];
+            let child = rest.split('/').next().unwrap_or(rest).to_owned();
+            if child.is_empty() {
+                continue;
+            }
+            *out.entry(child).or_insert(Energy::ZERO) += trace.energy();
+        }
+        out
+    }
+}
+
+impl FromIterator<(NodePath, PowerTrace)> for TraceTree {
+    fn from_iter<I: IntoIterator<Item = (NodePath, PowerTrace)>>(iter: I) -> TraceTree {
+        TraceTree {
+            leaves: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sustain_core::units::TimeSpan;
+
+    fn constant_trace(watts: f64, hours: f64) -> PowerTrace {
+        let mut t = PowerTrace::new();
+        t.push(TimeSpan::ZERO, Power::from_watts(watts));
+        t.push(TimeSpan::from_hours(hours), Power::from_watts(watts));
+        t
+    }
+
+    fn tree() -> TraceTree {
+        let mut tree = TraceTree::new();
+        tree.insert("c0/r0/h0/gpu0", constant_trace(300.0, 1.0));
+        tree.insert("c0/r0/h0/gpu1", constant_trace(300.0, 1.0));
+        tree.insert("c0/r0/h1/gpu0", constant_trace(250.0, 1.0));
+        tree.insert("c0/r1/h0/gpu0", constant_trace(400.0, 1.0));
+        tree.insert("c1/r0/h0/gpu0", constant_trace(100.0, 1.0));
+        tree
+    }
+
+    #[test]
+    fn subtree_energy_rolls_up_each_level() {
+        let t = tree();
+        assert!((t.subtree_energy("c0/r0/h0").as_watt_hours() - 600.0).abs() < 1e-6);
+        assert!((t.subtree_energy("c0/r0").as_watt_hours() - 850.0).abs() < 1e-6);
+        assert!((t.subtree_energy("c0").as_watt_hours() - 1250.0).abs() < 1e-6);
+        assert!((t.subtree_energy("").as_watt_hours() - 1350.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prefix_matching_is_segment_aware() {
+        let mut t = TraceTree::new();
+        t.insert("rack1/gpu0", constant_trace(100.0, 1.0));
+        t.insert("rack10/gpu0", constant_trace(100.0, 1.0));
+        // "rack1" must not match "rack10".
+        assert!((t.subtree_energy("rack1").as_watt_hours() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subtree_trace_sums_power_pointwise() {
+        let t = tree();
+        let rack = t.subtree_trace("c0/r0");
+        let mid = rack.power_at(TimeSpan::from_minutes(30.0)).unwrap();
+        assert!((mid.as_watts() - 850.0).abs() < 1e-6);
+        assert!((t.subtree_peak("c0/r0").as_watts() - 850.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn children_energy_gives_the_rack_view() {
+        let t = tree();
+        let by_rack = t.children_energy("c0");
+        assert_eq!(by_rack.len(), 2);
+        assert!((by_rack["r0"].as_watt_hours() - 850.0).abs() < 1e-6);
+        assert!((by_rack["r1"].as_watt_hours() - 400.0).abs() < 1e-6);
+        let by_cluster = t.children_energy("");
+        assert_eq!(by_cluster.len(), 2);
+    }
+
+    #[test]
+    fn empty_subtree_is_zero() {
+        let t = tree();
+        assert!(t.subtree_energy("does-not-exist").is_zero());
+        assert!(t.subtree_trace("does-not-exist").is_empty());
+    }
+
+    #[test]
+    fn leaf_access_and_len() {
+        let t = tree();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert!(t.leaf("c0/r0/h0/gpu0").is_some());
+        assert!(
+            t.leaf("c0/r0/h0").is_none(),
+            "interior nodes are not leaves"
+        );
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: TraceTree = vec![
+            ("a/b".to_owned(), constant_trace(1.0, 1.0)),
+            ("a/c".to_owned(), constant_trace(2.0, 1.0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 2);
+        assert!((t.subtree_energy("a").as_watt_hours() - 3.0).abs() < 1e-9);
+    }
+}

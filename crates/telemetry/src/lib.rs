@@ -1,0 +1,44 @@
+//! # sustain-telemetry
+//!
+//! A simulated power/energy telemetry substrate.
+//!
+//! The paper's measurements come from fleet-wide power telemetry that is
+//! proprietary to Facebook. This crate rebuilds the *shape* of that substrate
+//! so every accounting code path in the workspace can be exercised end-to-end:
+//!
+//! * [`device`] — parametric device power models (GPUs, CPUs, DRAM, edge
+//!   devices, routers) mapping utilization to power draw.
+//! * [`meter`] — power sampling and trapezoidal energy integration.
+//! * [`counters`] — RAPL-like CPU/DRAM energy counters and NVML-like GPU
+//!   counters, simulated over device models with measurement noise.
+//! * [`trace`] — recorded power traces: resampling, merging, energy integrals.
+//! * [`tracker`] — a CodeCarbon-style job tracker that turns meter readings
+//!   into [`FootprintReport`](sustain_core::footprint::FootprintReport)s.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use sustain_telemetry::device::{DeviceSpec, PowerModel};
+//! use sustain_core::units::Fraction;
+//!
+//! let v100 = DeviceSpec::V100.power_model();
+//! let idle = v100.power(Fraction::ZERO);
+//! let busy = v100.power(Fraction::ONE);
+//! assert!(busy > idle);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod counters;
+pub mod device;
+pub mod estimation;
+pub mod hierarchy;
+pub mod meter;
+pub mod trace;
+pub mod tracker;
+
+pub use device::{DeviceSpec, LinearPowerModel, PowerModel};
+pub use meter::EnergyIntegrator;
+pub use trace::PowerTrace;
+pub use tracker::CarbonTracker;

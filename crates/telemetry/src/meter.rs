@@ -1,0 +1,241 @@
+//! Power sampling and energy integration.
+//!
+//! [`EnergyIntegrator`] accumulates `(time, power)` samples and integrates
+//! them trapezoidally into an energy total — the core of every software power
+//! meter (RAPL readers, NVML pollers, CodeCarbon). [`sample_profile`] drives a
+//! `PowerModel` over a utilization signal to
+//! produce a `PowerTrace`.
+
+use sustain_core::units::{Energy, Fraction, Power, TimeSpan};
+
+use crate::device::PowerModel;
+use crate::trace::PowerTrace;
+
+/// Incremental trapezoidal integration of power samples into energy.
+///
+/// ```rust
+/// use sustain_telemetry::meter::EnergyIntegrator;
+/// use sustain_core::units::{Power, TimeSpan};
+///
+/// let mut meter = EnergyIntegrator::new();
+/// meter.push(TimeSpan::from_secs(0.0), Power::from_watts(100.0));
+/// meter.push(TimeSpan::from_secs(10.0), Power::from_watts(200.0));
+/// // Trapezoid: mean 150 W over 10 s = 1500 J.
+/// assert!((meter.energy().as_joules() - 1500.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyIntegrator {
+    first_time: Option<TimeSpan>,
+    last: Option<(TimeSpan, Power)>,
+    energy: Energy,
+    samples: usize,
+}
+
+impl EnergyIntegrator {
+    /// Creates an empty integrator.
+    pub fn new() -> EnergyIntegrator {
+        EnergyIntegrator::default()
+    }
+
+    /// Pushes a `(timestamp, power)` sample.
+    ///
+    /// Samples must arrive in non-decreasing time order; an out-of-order
+    /// sample is ignored and the method returns `false`.
+    pub fn push(&mut self, at: TimeSpan, power: Power) -> bool {
+        if let Some((t0, p0)) = self.last {
+            if at < t0 {
+                return false;
+            }
+            let dt = at - t0;
+            self.energy += (p0 + power) * 0.5 * dt;
+        } else {
+            self.first_time = Some(at);
+        }
+        self.last = Some((at, power));
+        self.samples += 1;
+        true
+    }
+
+    /// Total integrated energy so far.
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// Number of samples pushed.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Width of the sampled window (zero if fewer than 2 samples).
+    pub fn window(&self) -> TimeSpan {
+        match (self.first_time, self.last) {
+            (Some(t0), Some((t1, _))) => t1 - t0,
+            _ => TimeSpan::ZERO,
+        }
+    }
+
+    /// Mean power over the sampled window (zero if the window is empty).
+    pub fn mean_power(&self) -> Power {
+        let w = self.window();
+        if w.as_secs() > 0.0 {
+            self.energy / w
+        } else {
+            Power::ZERO
+        }
+    }
+}
+
+/// Samples a device's power over a utilization signal `u(t)` at a fixed
+/// interval, returning the recorded trace.
+///
+/// The signal is evaluated at `t = 0, dt, 2·dt, …, duration` inclusive, so the
+/// trace always covers the full window.
+///
+/// ```rust
+/// use sustain_telemetry::device::DeviceSpec;
+/// use sustain_telemetry::meter::sample_profile;
+/// use sustain_core::units::{Fraction, TimeSpan};
+///
+/// let trace = sample_profile(
+///     &DeviceSpec::V100.power_model(),
+///     |_t| Fraction::new(0.5).unwrap(),
+///     TimeSpan::from_secs(60.0),
+///     TimeSpan::from_secs(1.0),
+/// );
+/// assert_eq!(trace.len(), 61);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `interval` or `duration` is non-positive.
+pub fn sample_profile<M, F>(
+    model: &M,
+    mut utilization: F,
+    duration: TimeSpan,
+    interval: TimeSpan,
+) -> PowerTrace
+where
+    M: PowerModel + ?Sized,
+    F: FnMut(TimeSpan) -> Fraction,
+{
+    assert!(
+        interval.as_secs() > 0.0,
+        "sampling interval must be positive"
+    );
+    assert!(duration.as_secs() > 0.0, "duration must be positive");
+    let mut trace = PowerTrace::new();
+    let mut t = TimeSpan::ZERO;
+    while t < duration {
+        trace.push(t, model.power(utilization(t)));
+        t += interval;
+    }
+    trace.push(duration, model.power(utilization(duration)));
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceSpec, LinearPowerModel};
+
+    #[test]
+    fn constant_power_integrates_exactly() {
+        let mut m = EnergyIntegrator::new();
+        for i in 0..=10 {
+            m.push(TimeSpan::from_secs(i as f64), Power::from_watts(50.0));
+        }
+        assert!((m.energy().as_joules() - 500.0).abs() < 1e-9);
+        assert!((m.mean_power().as_watts() - 50.0).abs() < 1e-9);
+        assert_eq!(m.samples(), 11);
+        assert!((m.window().as_secs() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_matches_linear_ramp() {
+        // Power ramps 0→100 W over 10 s: energy = 500 J regardless of step.
+        let mut coarse = EnergyIntegrator::new();
+        let mut fine = EnergyIntegrator::new();
+        for i in 0..=10 {
+            let t = i as f64;
+            coarse.push(TimeSpan::from_secs(t), Power::from_watts(10.0 * t));
+        }
+        for i in 0..=1000 {
+            let t = i as f64 / 100.0;
+            fine.push(TimeSpan::from_secs(t), Power::from_watts(10.0 * t));
+        }
+        assert!((coarse.energy().as_joules() - 500.0).abs() < 1e-9);
+        assert!((fine.energy().as_joules() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_samples_rejected() {
+        let mut m = EnergyIntegrator::new();
+        assert!(m.push(TimeSpan::from_secs(5.0), Power::from_watts(1.0)));
+        assert!(!m.push(TimeSpan::from_secs(4.0), Power::from_watts(1.0)));
+        assert_eq!(m.samples(), 1);
+    }
+
+    #[test]
+    fn empty_integrator_is_zero() {
+        let m = EnergyIntegrator::new();
+        assert!(m.energy().is_zero());
+        assert_eq!(m.mean_power(), Power::ZERO);
+        assert_eq!(m.window(), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn single_sample_has_no_energy() {
+        let mut m = EnergyIntegrator::new();
+        m.push(TimeSpan::ZERO, Power::from_watts(100.0));
+        assert!(m.energy().is_zero());
+        assert_eq!(m.mean_power(), Power::ZERO);
+    }
+
+    #[test]
+    fn profile_sampling_covers_window() {
+        let model = DeviceSpec::A100.power_model();
+        let trace = sample_profile(
+            &model,
+            |_| Fraction::new(1.0).unwrap(),
+            TimeSpan::from_secs(10.0),
+            TimeSpan::from_secs(3.0),
+        );
+        // Samples at 0, 3, 6, 9, 10.
+        assert_eq!(trace.len(), 5);
+        assert!((trace.duration().as_secs() - 10.0).abs() < 1e-12);
+        // Constant full power: energy = 400 W × 10 s.
+        assert!((trace.energy().as_joules() - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn profile_with_varying_utilization() {
+        let model = LinearPowerModel::new(Power::ZERO, Power::from_watts(100.0));
+        // Utilization alternates 0 and 1 per second; mean power ≈ 50 W.
+        let trace = sample_profile(
+            &model,
+            |t| {
+                if (t.as_secs() as u64).is_multiple_of(2) {
+                    Fraction::ZERO
+                } else {
+                    Fraction::ONE
+                }
+            },
+            TimeSpan::from_secs(1000.0),
+            TimeSpan::from_secs(0.5),
+        );
+        let mean = trace.mean_power().as_watts();
+        assert!((mean - 50.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn profile_rejects_zero_interval() {
+        let model = DeviceSpec::V100.power_model();
+        let _ = sample_profile(
+            &model,
+            |_| Fraction::ZERO,
+            TimeSpan::from_secs(1.0),
+            TimeSpan::ZERO,
+        );
+    }
+}

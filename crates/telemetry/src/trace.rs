@@ -1,0 +1,304 @@
+//! Recorded power traces.
+//!
+//! A [`PowerTrace`] is an ordered series of `(timestamp, power)` samples with
+//! trapezoidal energy integration, resampling, and point-wise combination —
+//! the exchange format between the telemetry layer and the fleet simulator.
+
+use serde::{Deserialize, Serialize};
+
+use sustain_core::units::{Energy, Power, TimeSpan};
+
+/// An ordered series of `(timestamp, power)` samples.
+///
+/// ```rust
+/// use sustain_telemetry::trace::PowerTrace;
+/// use sustain_core::units::{Power, TimeSpan};
+///
+/// let mut trace = PowerTrace::new();
+/// trace.push(TimeSpan::from_secs(0.0), Power::from_watts(100.0));
+/// trace.push(TimeSpan::from_secs(60.0), Power::from_watts(100.0));
+/// assert!((trace.energy().as_joules() - 6000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerTrace {
+    samples: Vec<(TimeSpan, Power)>,
+}
+
+impl PowerTrace {
+    /// Creates an empty trace.
+    pub fn new() -> PowerTrace {
+        PowerTrace::default()
+    }
+
+    /// Appends a sample. Out-of-order timestamps are ignored (returns `false`).
+    pub fn push(&mut self, at: TimeSpan, power: Power) -> bool {
+        if let Some(&(last, _)) = self.samples.last() {
+            if at < last {
+                return false;
+            }
+        }
+        self.samples.push((at, power));
+        true
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples as a slice.
+    pub fn samples(&self) -> &[(TimeSpan, Power)] {
+        &self.samples
+    }
+
+    /// Iterates `(timestamp, power)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TimeSpan, Power)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// The time covered by the trace.
+    pub fn duration(&self) -> TimeSpan {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(&(a, _)), Some(&(b, _))) => b - a,
+            _ => TimeSpan::ZERO,
+        }
+    }
+
+    /// Trapezoidal energy integral over the trace.
+    pub fn energy(&self) -> Energy {
+        let mut total = Energy::ZERO;
+        for w in self.samples.windows(2) {
+            let (t0, p0) = w[0];
+            let (t1, p1) = w[1];
+            total += (p0 + p1) * 0.5 * (t1 - t0);
+        }
+        total
+    }
+
+    /// Mean power over the covered window (zero for empty/instant traces).
+    pub fn mean_power(&self) -> Power {
+        let d = self.duration();
+        if d.as_secs() > 0.0 {
+            self.energy() / d
+        } else {
+            Power::ZERO
+        }
+    }
+
+    /// Peak sampled power (zero for an empty trace).
+    pub fn peak_power(&self) -> Power {
+        self.samples
+            .iter()
+            .map(|&(_, p)| p)
+            .fold(Power::ZERO, Power::max)
+    }
+
+    /// Power at time `t` by linear interpolation. Returns `None` outside the
+    /// covered window or for an empty trace.
+    pub fn power_at(&self, t: TimeSpan) -> Option<Power> {
+        let first = self.samples.first()?.0;
+        let last = self.samples.last()?.0;
+        if t < first || t > last {
+            return None;
+        }
+        let idx = self
+            .samples
+            .partition_point(|&(ts, _)| ts <= t)
+            .saturating_sub(1);
+        let (t0, p0) = self.samples[idx];
+        if idx + 1 >= self.samples.len() || t == t0 {
+            return Some(p0);
+        }
+        let (t1, p1) = self.samples[idx + 1];
+        if t1 == t0 {
+            return Some(p1);
+        }
+        let w = (t - t0) / (t1 - t0);
+        Some(p0 + (p1 - p0) * w)
+    }
+
+    /// Resamples onto a regular grid of `interval` over the covered window.
+    ///
+    /// Returns an empty trace if the input has fewer than 2 samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is non-positive.
+    pub fn resample(&self, interval: TimeSpan) -> PowerTrace {
+        assert!(interval.as_secs() > 0.0, "interval must be positive");
+        let mut out = PowerTrace::new();
+        if self.samples.len() < 2 {
+            return out;
+        }
+        let start = self.samples[0].0;
+        let end = self.samples[self.samples.len() - 1].0;
+        let mut t = start;
+        while t < end {
+            out.push(t, self.power_at(t).expect("t within window"));
+            t += interval;
+        }
+        out.push(end, self.power_at(end).expect("end within window"));
+        out
+    }
+
+    /// Point-wise sum of two traces on the union grid of their timestamps,
+    /// treating power outside either trace's window as zero — how rack-level
+    /// power is assembled from per-device traces.
+    pub fn combine(&self, other: &PowerTrace) -> PowerTrace {
+        let mut times: Vec<TimeSpan> = self
+            .samples
+            .iter()
+            .chain(other.samples.iter())
+            .map(|&(t, _)| t)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("trace times are finite"));
+        times.dedup();
+        let mut out = PowerTrace::new();
+        for t in times {
+            let a = self.power_at(t).unwrap_or(Power::ZERO);
+            let b = other.power_at(t).unwrap_or(Power::ZERO);
+            out.push(t, a + b);
+        }
+        out
+    }
+}
+
+impl FromIterator<(TimeSpan, Power)> for PowerTrace {
+    fn from_iter<I: IntoIterator<Item = (TimeSpan, Power)>>(iter: I) -> PowerTrace {
+        let mut t = PowerTrace::new();
+        for (at, p) in iter {
+            t.push(at, p);
+        }
+        t
+    }
+}
+
+impl Extend<(TimeSpan, Power)> for PowerTrace {
+    fn extend<I: IntoIterator<Item = (TimeSpan, Power)>>(&mut self, iter: I) {
+        for (at, p) in iter {
+            self.push(at, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> PowerTrace {
+        // 0 W at t=0 to 100 W at t=10.
+        vec![
+            (TimeSpan::from_secs(0.0), Power::from_watts(0.0)),
+            (TimeSpan::from_secs(10.0), Power::from_watts(100.0)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn energy_of_ramp() {
+        assert!((ramp().energy().as_joules() - 500.0).abs() < 1e-9);
+        assert!((ramp().mean_power().as_watts() - 50.0).abs() < 1e-9);
+        assert_eq!(ramp().peak_power(), Power::from_watts(100.0));
+    }
+
+    #[test]
+    fn empty_and_single_sample_traces() {
+        let empty = PowerTrace::new();
+        assert!(empty.is_empty());
+        assert!(empty.energy().is_zero());
+        assert_eq!(empty.mean_power(), Power::ZERO);
+        assert_eq!(empty.power_at(TimeSpan::ZERO), None);
+
+        let mut single = PowerTrace::new();
+        single.push(TimeSpan::from_secs(1.0), Power::from_watts(5.0));
+        assert!(single.energy().is_zero());
+        assert_eq!(
+            single.power_at(TimeSpan::from_secs(1.0)),
+            Some(Power::from_watts(5.0))
+        );
+    }
+
+    #[test]
+    fn interpolation_inside_window() {
+        let t = ramp();
+        let p = t.power_at(TimeSpan::from_secs(2.5)).unwrap();
+        assert!((p.as_watts() - 25.0).abs() < 1e-9);
+        assert_eq!(t.power_at(TimeSpan::from_secs(-1.0)), None);
+        assert_eq!(t.power_at(TimeSpan::from_secs(11.0)), None);
+    }
+
+    #[test]
+    fn resample_preserves_energy_of_linear_trace() {
+        let t = ramp();
+        let r = t.resample(TimeSpan::from_secs(1.0));
+        assert_eq!(r.len(), 11);
+        assert!((r.energy().as_joules() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_of_short_trace_is_empty() {
+        let mut t = PowerTrace::new();
+        t.push(TimeSpan::ZERO, Power::from_watts(1.0));
+        assert!(t.resample(TimeSpan::from_secs(1.0)).is_empty());
+    }
+
+    #[test]
+    fn combine_sums_overlapping_power() {
+        let a = ramp();
+        let b = ramp();
+        let c = a.combine(&b);
+        assert!((c.energy().as_joules() - 1000.0).abs() < 1e-9);
+        let p = c.power_at(TimeSpan::from_secs(5.0)).unwrap();
+        assert!((p.as_watts() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combine_with_disjoint_windows() {
+        let a = ramp();
+        let b: PowerTrace = vec![
+            (TimeSpan::from_secs(20.0), Power::from_watts(10.0)),
+            (TimeSpan::from_secs(30.0), Power::from_watts(10.0)),
+        ]
+        .into_iter()
+        .collect();
+        let c = a.combine(&b);
+        // Energy: both pieces present but gap (10→20 s) interpolates between
+        // trace-a's end (treated 0 where absent) — combined grid has points at
+        // 0,10,20,30; power at 10 is 100, at 20 is 10.
+        assert_eq!(c.len(), 4);
+        assert!(c.energy() > a.energy());
+    }
+
+    #[test]
+    fn rejects_out_of_order_push() {
+        let mut t = PowerTrace::new();
+        assert!(t.push(TimeSpan::from_secs(5.0), Power::from_watts(1.0)));
+        assert!(!t.push(TimeSpan::from_secs(1.0), Power::from_watts(1.0)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = ramp();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PowerTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn duplicate_timestamps_allowed() {
+        // Step change at the same instant (e.g. job start).
+        let mut t = PowerTrace::new();
+        t.push(TimeSpan::ZERO, Power::from_watts(0.0));
+        t.push(TimeSpan::from_secs(5.0), Power::from_watts(0.0));
+        t.push(TimeSpan::from_secs(5.0), Power::from_watts(100.0));
+        t.push(TimeSpan::from_secs(10.0), Power::from_watts(100.0));
+        assert!((t.energy().as_joules() - 500.0).abs() < 1e-9);
+    }
+}

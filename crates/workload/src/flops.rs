@@ -1,0 +1,225 @@
+//! FLOPs estimators and the FLOPs→energy bridge.
+//!
+//! The standard approximations: a dense transformer forward pass costs
+//! ≈ `2 × parameters` FLOPs per token, and training (forward + backward +
+//! update) ≈ `6 × parameters` per token. Combined with an accelerator's peak
+//! throughput and model FLOPs utilization (MFU), this turns model/data scale
+//! directly into runtime and energy — the bridge every scaling analysis in the
+//! paper rests on.
+
+use serde::{Deserialize, Serialize};
+
+use sustain_core::units::{Energy, Fraction, Power, TimeSpan};
+use sustain_telemetry::device::{DeviceSpec, PowerModel};
+
+/// FLOPs for one forward pass of a dense model over `tokens` tokens.
+pub fn inference_flops(parameters: u64, tokens: u64) -> f64 {
+    2.0 * parameters as f64 * tokens as f64
+}
+
+/// FLOPs for training a dense model over `tokens` tokens (fwd + bwd + update).
+pub fn training_flops(parameters: u64, tokens: u64) -> f64 {
+    6.0 * parameters as f64 * tokens as f64
+}
+
+/// FLOPs for one forward pass of an MLP with the given layer widths over a
+/// batch (2 FLOPs per MAC).
+///
+/// # Panics
+///
+/// Panics if fewer than two layer widths are given.
+pub fn mlp_flops(layer_widths: &[u64], batch: u64) -> f64 {
+    assert!(
+        layer_widths.len() >= 2,
+        "an MLP needs at least input and output widths"
+    );
+    let macs: f64 = layer_widths
+        .windows(2)
+        .map(|w| w[0] as f64 * w[1] as f64)
+        .sum();
+    2.0 * macs * batch as f64
+}
+
+/// Sparsely-activated (mixture-of-experts) training FLOPs: only
+/// `active_fraction` of parameters participate per token — how a 1.5 T
+/// Switch Transformer trains with less energy than a 175 B dense GPT-3.
+pub fn sparse_training_flops(parameters: u64, tokens: u64, active_fraction: Fraction) -> f64 {
+    training_flops(parameters, tokens) * active_fraction.value()
+}
+
+/// An accelerator's compute throughput profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceThroughput {
+    spec: DeviceSpec,
+    peak_flops_per_sec: f64,
+}
+
+impl DeviceThroughput {
+    /// Creates a throughput profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `peak_flops_per_sec` is not positive.
+    pub fn new(spec: DeviceSpec, peak_flops_per_sec: f64) -> DeviceThroughput {
+        debug_assert!(peak_flops_per_sec > 0.0);
+        DeviceThroughput {
+            spec,
+            peak_flops_per_sec,
+        }
+    }
+
+    /// Published mixed-precision peak throughput for a device spec, where
+    /// known (V100 125 TFLOP/s, A100 312 TFLOP/s, P100 21.2 TFLOP/s,
+    /// TPUv3 123 TFLOP/s per chip). Returns `None` for non-accelerators.
+    pub fn for_spec(spec: DeviceSpec) -> Option<DeviceThroughput> {
+        let tflops = match spec {
+            DeviceSpec::V100 => 125.0,
+            DeviceSpec::A100 => 312.0,
+            DeviceSpec::P100 => 21.2,
+            DeviceSpec::TpuV3 => 123.0,
+            _ => return None,
+        };
+        Some(DeviceThroughput::new(spec, tflops * 1e12))
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> DeviceSpec {
+        self.spec
+    }
+
+    /// Peak FLOP/s.
+    pub fn peak_flops_per_sec(&self) -> f64 {
+        self.peak_flops_per_sec
+    }
+
+    /// Achieved FLOP/s at a model-FLOPs-utilization.
+    pub fn achieved_flops_per_sec(&self, mfu: Fraction) -> f64 {
+        self.peak_flops_per_sec * mfu.value()
+    }
+
+    /// Wall-clock time to execute `flops` at the given MFU on one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mfu` is zero.
+    pub fn time_for(&self, flops: f64, mfu: Fraction) -> TimeSpan {
+        assert!(mfu.value() > 0.0, "mfu must be positive");
+        TimeSpan::from_secs(flops / self.achieved_flops_per_sec(mfu))
+    }
+
+    /// Device power while computing at the given MFU (the device's power
+    /// model evaluated at that utilization).
+    pub fn power_at(&self, mfu: Fraction) -> Power {
+        self.spec.power_model().power(mfu)
+    }
+
+    /// Energy to execute `flops` at the given MFU on one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mfu` is zero.
+    pub fn energy_for(&self, flops: f64, mfu: Fraction) -> Energy {
+        self.power_at(mfu) * self.time_for(flops, mfu)
+    }
+
+    /// Energy efficiency (FLOPs per joule) at the given MFU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mfu` is zero.
+    pub fn flops_per_joule(&self, mfu: Fraction) -> f64 {
+        self.achieved_flops_per_sec(mfu) / self.power_at(mfu).as_watts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half() -> Fraction {
+        Fraction::new(0.5).unwrap()
+    }
+
+    #[test]
+    fn dense_flops_formulas() {
+        assert_eq!(inference_flops(1_000, 10), 20_000.0);
+        assert_eq!(training_flops(1_000, 10), 60_000.0);
+        // Training is 3× inference.
+        assert_eq!(training_flops(7, 13) / inference_flops(7, 13), 3.0);
+    }
+
+    #[test]
+    fn mlp_flops_formula() {
+        // 4→8→2: (4*8 + 8*2) MACs = 48, ×2 ×batch 10 = 960.
+        assert_eq!(mlp_flops(&[4, 8, 2], 10), 960.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_rejects_single_layer() {
+        let _ = mlp_flops(&[4], 1);
+    }
+
+    #[test]
+    fn sparse_models_cost_less_per_token() {
+        // A 1.5T MoE at 5% activation trains cheaper per token than 175B dense.
+        let switch = sparse_training_flops(1_500_000_000_000, 1, Fraction::new(0.05).unwrap());
+        let gpt3 = training_flops(175_000_000_000, 1);
+        assert!(switch < gpt3);
+    }
+
+    #[test]
+    fn throughput_presets_exist_for_accelerators() {
+        for spec in [
+            DeviceSpec::V100,
+            DeviceSpec::A100,
+            DeviceSpec::P100,
+            DeviceSpec::TpuV3,
+        ] {
+            let t = DeviceThroughput::for_spec(spec).unwrap();
+            assert!(t.peak_flops_per_sec() > 1e13);
+        }
+        assert!(DeviceThroughput::for_spec(DeviceSpec::Smartphone).is_none());
+    }
+
+    #[test]
+    fn time_scales_inversely_with_mfu() {
+        let t = DeviceThroughput::for_spec(DeviceSpec::V100).unwrap();
+        let flops = 1e18;
+        let slow = t.time_for(flops, Fraction::new(0.25).unwrap());
+        let fast = t.time_for(flops, half());
+        assert!((slow.as_secs() / fast.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_mfu_is_more_energy_efficient() {
+        // Higher utilization amortizes idle power: more FLOPs per joule.
+        let t = DeviceThroughput::for_spec(DeviceSpec::A100).unwrap();
+        let lo = t.flops_per_joule(Fraction::new(0.3).unwrap());
+        let hi = t.flops_per_joule(Fraction::new(0.9).unwrap());
+        assert!(hi > lo, "hi {hi} should beat lo {lo}");
+    }
+
+    #[test]
+    fn a100_beats_v100_on_efficiency() {
+        let v = DeviceThroughput::for_spec(DeviceSpec::V100).unwrap();
+        let a = DeviceThroughput::for_spec(DeviceSpec::A100).unwrap();
+        assert!(a.flops_per_joule(half()) > v.flops_per_joule(half()));
+    }
+
+    #[test]
+    fn energy_for_is_power_times_time() {
+        let t = DeviceThroughput::for_spec(DeviceSpec::V100).unwrap();
+        let flops = 1e17;
+        let e = t.energy_for(flops, half());
+        let manual = t.power_at(half()) * t.time_for(flops, half());
+        assert!((e.as_joules() - manual.as_joules()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mfu must be positive")]
+    fn zero_mfu_rejected() {
+        let t = DeviceThroughput::for_spec(DeviceSpec::V100).unwrap();
+        let _ = t.time_for(1e12, Fraction::ZERO);
+    }
+}

@@ -1,0 +1,254 @@
+//! Inference serving models (§II-A).
+//!
+//! Facebook's fleet serves *trillions of predictions per day*; for a deployed
+//! model, total inference compute is expected to exceed its training compute.
+//! [`InferenceService`] models one deployed model's serving load and energy;
+//! [`ServingFleet`] aggregates services into fleet-level demand.
+
+use serde::{Deserialize, Serialize};
+
+use sustain_core::units::{Energy, TimeSpan};
+
+/// One deployed model's serving profile.
+///
+/// ```rust
+/// use sustain_workload::inference::InferenceService;
+/// use sustain_core::units::Energy;
+///
+/// let svc = InferenceService::new("rm1", 2.0e12, Energy::from_joules(0.002));
+/// assert!((svc.daily_energy().as_megawatt_hours() - 1.111).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceService {
+    name: String,
+    predictions_per_day: f64,
+    energy_per_prediction: Energy,
+}
+
+impl InferenceService {
+    /// Creates a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictions_per_day` is negative or non-finite.
+    pub fn new(
+        name: impl Into<String>,
+        predictions_per_day: f64,
+        energy_per_prediction: Energy,
+    ) -> InferenceService {
+        assert!(
+            predictions_per_day.is_finite() && predictions_per_day >= 0.0,
+            "predictions_per_day must be non-negative"
+        );
+        InferenceService {
+            name: name.into(),
+            predictions_per_day,
+            energy_per_prediction,
+        }
+    }
+
+    /// The service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Daily prediction volume.
+    pub fn predictions_per_day(&self) -> f64 {
+        self.predictions_per_day
+    }
+
+    /// IT energy per prediction.
+    pub fn energy_per_prediction(&self) -> Energy {
+        self.energy_per_prediction
+    }
+
+    /// Mean queries per second.
+    pub fn qps(&self) -> f64 {
+        self.predictions_per_day / 86_400.0
+    }
+
+    /// IT energy per day.
+    pub fn daily_energy(&self) -> Energy {
+        self.energy_per_prediction * self.predictions_per_day
+    }
+
+    /// IT energy over an arbitrary horizon.
+    pub fn energy_over(&self, horizon: TimeSpan) -> Energy {
+        self.daily_energy() * horizon.as_days()
+    }
+
+    /// Servers needed to sustain the mean load given per-server throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_server_qps` is not positive.
+    pub fn servers_needed(&self, per_server_qps: f64) -> u64 {
+        assert!(per_server_qps > 0.0, "per-server qps must be positive");
+        (self.qps() / per_server_qps).ceil() as u64
+    }
+
+    /// Returns a copy with per-prediction energy scaled by `factor` —
+    /// how optimization passes express efficiency gains.
+    pub fn with_energy_scaled(&self, factor: f64) -> InferenceService {
+        InferenceService {
+            name: self.name.clone(),
+            predictions_per_day: self.predictions_per_day,
+            energy_per_prediction: self.energy_per_prediction * factor,
+        }
+    }
+
+    /// Returns a copy with demand grown by `factor` (Jevons-paradox side).
+    pub fn with_demand_scaled(&self, factor: f64) -> InferenceService {
+        InferenceService {
+            name: self.name.clone(),
+            predictions_per_day: self.predictions_per_day * factor,
+            energy_per_prediction: self.energy_per_prediction,
+        }
+    }
+}
+
+/// A collection of inference services.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServingFleet {
+    services: Vec<InferenceService>,
+}
+
+impl ServingFleet {
+    /// Creates an empty fleet.
+    pub fn new() -> ServingFleet {
+        ServingFleet::default()
+    }
+
+    /// Adds a service.
+    pub fn add(&mut self, service: InferenceService) -> &mut ServingFleet {
+        self.services.push(service);
+        self
+    }
+
+    /// The services.
+    pub fn services(&self) -> &[InferenceService] {
+        &self.services
+    }
+
+    /// Total predictions per day across services.
+    pub fn predictions_per_day(&self) -> f64 {
+        self.services.iter().map(|s| s.predictions_per_day()).sum()
+    }
+
+    /// Total daily IT energy.
+    pub fn daily_energy(&self) -> Energy {
+        self.services.iter().map(|s| s.daily_energy()).sum()
+    }
+
+    /// A representative fleet shaped like the paper's description: the six
+    /// production models together serving trillions of predictions per day.
+    pub fn production_like() -> ServingFleet {
+        let mut fleet = ServingFleet::new();
+        // Per-prediction energies differ by model class: RM inference is
+        // memory-bound and cheap per query; LM decoding is heavier.
+        fleet.add(InferenceService::new("LM", 5.0e9, Energy::from_joules(8.0)));
+        fleet.add(InferenceService::new(
+            "RM1",
+            8.0e11,
+            Energy::from_joules(0.012),
+        ));
+        fleet.add(InferenceService::new(
+            "RM2",
+            1.1e12,
+            Energy::from_joules(0.014),
+        ));
+        fleet.add(InferenceService::new(
+            "RM3",
+            6.0e11,
+            Energy::from_joules(0.020),
+        ));
+        fleet.add(InferenceService::new(
+            "RM4",
+            7.5e11,
+            Energy::from_joules(0.018),
+        ));
+        fleet.add(InferenceService::new(
+            "RM5",
+            5.5e11,
+            Energy::from_joules(0.019),
+        ));
+        fleet
+    }
+}
+
+impl FromIterator<InferenceService> for ServingFleet {
+    fn from_iter<I: IntoIterator<Item = InferenceService>>(iter: I) -> ServingFleet {
+        ServingFleet {
+            services: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc() -> InferenceService {
+        InferenceService::new("rm", 8.64e9, Energy::from_joules(0.01))
+    }
+
+    #[test]
+    fn qps_and_daily_energy() {
+        let s = svc();
+        assert!((s.qps() - 1.0e5).abs() < 1e-6);
+        assert!((s.daily_energy().as_joules() - 8.64e7).abs() < 1.0);
+        assert!((s.energy_over(TimeSpan::from_days(10.0)).as_joules() - 8.64e8).abs() < 10.0);
+    }
+
+    #[test]
+    fn servers_needed_rounds_up() {
+        let s = svc();
+        assert_eq!(s.servers_needed(30_000.0), 4);
+        assert_eq!(s.servers_needed(100_000.0), 1);
+    }
+
+    #[test]
+    fn scaling_helpers() {
+        let s = svc();
+        let optimized = s.with_energy_scaled(0.5);
+        assert_eq!(optimized.daily_energy(), s.daily_energy() * 0.5);
+        let grown = s.with_demand_scaled(2.0);
+        assert_eq!(grown.daily_energy(), s.daily_energy() * 2.0);
+        assert_eq!(grown.name(), "rm");
+    }
+
+    #[test]
+    fn production_fleet_serves_trillions_daily() {
+        let fleet = ServingFleet::production_like();
+        // Paper: "trillions of inference per day".
+        assert!(fleet.predictions_per_day() > 1.0e12);
+        assert_eq!(fleet.services().len(), 6);
+        assert!(fleet.daily_energy() > Energy::ZERO);
+    }
+
+    #[test]
+    fn inference_exceeds_training_compute_over_deployment() {
+        // Paper: "total compute cycles for inference... expected to exceed the
+        // corresponding training cycles". One RM's inference energy over a
+        // 90-day deployment should exceed a large production training run.
+        let fleet = ServingFleet::production_like();
+        let rm1 = &fleet.services()[1];
+        let deployment_energy = rm1.energy_over(TimeSpan::from_days(90.0));
+        // A 125 GPU-day (p99) training run at 300 W mean:
+        let training = sustain_core::units::Power::from_watts(300.0) * TimeSpan::from_days(125.0);
+        assert!(deployment_energy > training);
+    }
+
+    #[test]
+    fn fleet_collects_from_iterator() {
+        let fleet: ServingFleet = vec![svc(), svc()].into_iter().collect();
+        assert_eq!(fleet.services().len(), 2);
+        assert!((fleet.predictions_per_day() - 2.0 * 8.64e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_volume() {
+        let _ = InferenceService::new("bad", -1.0, Energy::ZERO);
+    }
+}

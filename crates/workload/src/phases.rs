@@ -1,0 +1,178 @@
+//! Phase capacity and energy splits (Figure 3).
+//!
+//! Two published splits are encoded:
+//!
+//! * **Power capacity** across AI infrastructure is devoted **10:20:70** to
+//!   Experimentation : Training : Inference (Fig 3a).
+//! * **End-to-end energy** of RM1's pipeline splits **31:29:40** across
+//!   Data : Experimentation+Training : Inference (Fig 3b) — data storage and
+//!   ingestion is a first-class consumer, not an afterthought.
+
+use serde::{Deserialize, Serialize};
+
+use sustain_core::lifecycle::{Breakdown, MlPhase};
+use sustain_core::units::{Energy, Fraction, Power};
+
+/// The fleet-level power-capacity split of Figure 3a.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCapacitySplit {
+    experimentation: Fraction,
+    training: Fraction,
+    inference: Fraction,
+}
+
+impl PhaseCapacitySplit {
+    /// The paper's 10:20:70 split.
+    pub fn paper_default() -> PhaseCapacitySplit {
+        PhaseCapacitySplit {
+            experimentation: Fraction::saturating(0.10),
+            training: Fraction::saturating(0.20),
+            inference: Fraction::saturating(0.70),
+        }
+    }
+
+    /// Creates a split from three shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sustain_core::Error::MixNotNormalized`] unless the shares sum
+    /// to 1 within 1e-9.
+    pub fn new(
+        experimentation: Fraction,
+        training: Fraction,
+        inference: Fraction,
+    ) -> sustain_core::Result<PhaseCapacitySplit> {
+        let sum = experimentation.value() + training.value() + inference.value();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(sustain_core::Error::MixNotNormalized { sum });
+        }
+        Ok(PhaseCapacitySplit {
+            experimentation,
+            training,
+            inference,
+        })
+    }
+
+    /// Share for experimentation.
+    pub fn experimentation(&self) -> Fraction {
+        self.experimentation
+    }
+
+    /// Share for (offline + online) training.
+    pub fn training(&self) -> Fraction {
+        self.training
+    }
+
+    /// Share for inference.
+    pub fn inference(&self) -> Fraction {
+        self.inference
+    }
+
+    /// Splits a total AI power capacity across the three phases, returned as
+    /// a per-phase breakdown (training is booked as offline training).
+    pub fn allocate(&self, total: Power) -> Breakdown<Power> {
+        let mut b = Breakdown::zero();
+        b[MlPhase::Experimentation] = self.experimentation * total;
+        b[MlPhase::OfflineTraining] = self.training * total;
+        b[MlPhase::Inference] = self.inference * total;
+        b
+    }
+}
+
+/// The RM1 end-to-end pipeline energy split of Figure 3b.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineEnergySplit {
+    data: Fraction,
+    experimentation_training: Fraction,
+    inference: Fraction,
+}
+
+impl PipelineEnergySplit {
+    /// The paper's 31:29:40 split for RM1.
+    pub fn rm1() -> PipelineEnergySplit {
+        PipelineEnergySplit {
+            data: Fraction::saturating(0.31),
+            experimentation_training: Fraction::saturating(0.29),
+            inference: Fraction::saturating(0.40),
+        }
+    }
+
+    /// Share spent in data storage + ingestion.
+    pub fn data(&self) -> Fraction {
+        self.data
+    }
+
+    /// Share spent in experimentation + training.
+    pub fn experimentation_training(&self) -> Fraction {
+        self.experimentation_training
+    }
+
+    /// Share spent in inference.
+    pub fn inference(&self) -> Fraction {
+        self.inference
+    }
+
+    /// Splits a total pipeline energy across the stages (experimentation+
+    /// training booked half/half between the two phases).
+    pub fn allocate(&self, total: Energy) -> Breakdown<Energy> {
+        let mut b = Breakdown::zero();
+        b[MlPhase::DataProcessing] = self.data * total;
+        let et = self.experimentation_training * total;
+        b[MlPhase::Experimentation] = et * 0.5;
+        b[MlPhase::OfflineTraining] = et * 0.5;
+        b[MlPhase::Inference] = self.inference * total;
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_split_is_10_20_70() {
+        let s = PhaseCapacitySplit::paper_default();
+        assert!((s.experimentation().value() - 0.10).abs() < 1e-12);
+        assert!((s.training().value() - 0.20).abs() < 1e-12);
+        assert!((s.inference().value() - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_allocation_partitions_total() {
+        let total = Power::from_megawatts(100.0);
+        let b = PhaseCapacitySplit::paper_default().allocate(total);
+        assert!((b.total().as_megawatts() - 100.0).abs() < 1e-9);
+        assert!((b[MlPhase::Inference].as_megawatts() - 70.0).abs() < 1e-9);
+        // Inference capacity dominates: the paper's core serving claim.
+        let (exp, train, inf) = b.coarse();
+        assert!(inf > train && train > exp);
+    }
+
+    #[test]
+    fn split_validation() {
+        let ok = PhaseCapacitySplit::new(
+            Fraction::saturating(0.2),
+            Fraction::saturating(0.3),
+            Fraction::saturating(0.5),
+        );
+        assert!(ok.is_ok());
+        let bad = PhaseCapacitySplit::new(
+            Fraction::saturating(0.2),
+            Fraction::saturating(0.3),
+            Fraction::saturating(0.4),
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn rm1_pipeline_split_is_31_29_40() {
+        let s = PipelineEnergySplit::rm1();
+        let total = Energy::from_megawatt_hours(100.0);
+        let b = s.allocate(total);
+        assert!((b.total().as_megawatt_hours() - 100.0).abs() < 1e-9);
+        assert!((b[MlPhase::DataProcessing].as_megawatt_hours() - 31.0).abs() < 1e-9);
+        assert!((b[MlPhase::Inference].as_megawatt_hours() - 40.0).abs() < 1e-9);
+        // Data is a first-class consumer — comparable to training.
+        assert!(s.data().value() > 0.25);
+    }
+}

@@ -1,0 +1,280 @@
+//! The deep-learning recommendation model (DLRM) structure (§III-B).
+//!
+//! A recommendation model has two sub-nets: a dense fully-connected network
+//! (MLPs, compute-bound) and a sparse embedding network projecting hundreds of
+//! high-dimensional categorical features to low-dimensional vectors. The
+//! embedding tables easily contribute **over 95 % of total model size**, and
+//! embedding lookups dominate inference time for many ranking use cases —
+//! which is why the paper's RM optimizations (quantization, caching) all
+//! target the memory system.
+
+use serde::{Deserialize, Serialize};
+
+use sustain_core::units::{DataRate, DataVolume, Fraction, TimeSpan};
+
+use crate::flops::mlp_flops;
+
+/// One sparse embedding table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EmbeddingTable {
+    rows: u64,
+    dim: u32,
+    bytes_per_element: u32,
+    /// Average lookups (pooling factor) per inference.
+    lookups_per_query: u32,
+}
+
+impl EmbeddingTable {
+    /// Creates a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any dimension is zero.
+    pub fn new(
+        rows: u64,
+        dim: u32,
+        bytes_per_element: u32,
+        lookups_per_query: u32,
+    ) -> EmbeddingTable {
+        debug_assert!(rows > 0 && dim > 0 && bytes_per_element > 0);
+        EmbeddingTable {
+            rows,
+            dim,
+            bytes_per_element,
+            lookups_per_query,
+        }
+    }
+
+    /// Number of rows (hash-bucket cardinality).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Bytes per element (4 = fp32, 2 = fp16, 1 = int8).
+    pub fn bytes_per_element(&self) -> u32 {
+        self.bytes_per_element
+    }
+
+    /// Average lookups per inference query.
+    pub fn lookups_per_query(&self) -> u32 {
+        self.lookups_per_query
+    }
+
+    /// Storage size of the table.
+    pub fn size(&self) -> DataVolume {
+        DataVolume::from_bytes(self.rows as f64 * self.dim as f64 * self.bytes_per_element as f64)
+    }
+
+    /// Bytes read from this table per inference query.
+    pub fn bytes_per_query(&self) -> DataVolume {
+        DataVolume::from_bytes(
+            self.lookups_per_query as f64 * self.dim as f64 * self.bytes_per_element as f64,
+        )
+    }
+
+    /// A copy re-encoded at a different element width (quantization).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `bytes` is zero.
+    pub fn with_element_bytes(&self, bytes: u32) -> EmbeddingTable {
+        debug_assert!(bytes > 0);
+        EmbeddingTable {
+            bytes_per_element: bytes,
+            ..*self
+        }
+    }
+}
+
+/// A DLRM configuration: dense MLPs plus sparse embedding tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlrmConfig {
+    bottom_mlp: Vec<u64>,
+    top_mlp: Vec<u64>,
+    tables: Vec<EmbeddingTable>,
+    dense_bytes_per_param: u32,
+}
+
+impl DlrmConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either MLP has fewer than two layer widths.
+    pub fn new(bottom_mlp: Vec<u64>, top_mlp: Vec<u64>, tables: Vec<EmbeddingTable>) -> DlrmConfig {
+        assert!(
+            bottom_mlp.len() >= 2 && top_mlp.len() >= 2,
+            "MLPs need ≥2 widths"
+        );
+        DlrmConfig {
+            bottom_mlp,
+            top_mlp,
+            tables,
+            dense_bytes_per_param: 4,
+        }
+    }
+
+    /// A representative production-scale RM: hundreds of embedding tables with
+    /// tens of millions of rows each, and comparatively tiny MLPs.
+    pub fn production_scale() -> DlrmConfig {
+        let tables = (0..200)
+            .map(|i| {
+                // Table cardinalities spread over two orders of magnitude.
+                let rows = 1_000_000 * (1 + (i % 40) as u64);
+                EmbeddingTable::new(rows, 64, 4, 20)
+            })
+            .collect();
+        DlrmConfig::new(vec![512, 512, 256, 64], vec![512, 384, 256, 1], tables)
+    }
+
+    /// The embedding tables.
+    pub fn tables(&self) -> &[EmbeddingTable] {
+        &self.tables
+    }
+
+    /// Mutable access for optimization passes (e.g. per-table quantization).
+    pub fn tables_mut(&mut self) -> &mut Vec<EmbeddingTable> {
+        &mut self.tables
+    }
+
+    /// Dense (MLP) parameter count.
+    pub fn dense_parameters(&self) -> u64 {
+        let count = |widths: &[u64]| -> u64 { widths.windows(2).map(|w| w[0] * w[1] + w[1]).sum() };
+        count(&self.bottom_mlp) + count(&self.top_mlp)
+    }
+
+    /// Sparse (embedding) parameter count.
+    pub fn embedding_parameters(&self) -> u64 {
+        self.tables.iter().map(|t| t.rows() * t.dim() as u64).sum()
+    }
+
+    /// Total parameter count.
+    pub fn parameters(&self) -> u64 {
+        self.dense_parameters() + self.embedding_parameters()
+    }
+
+    /// Dense sub-net storage size.
+    pub fn dense_size(&self) -> DataVolume {
+        DataVolume::from_bytes(self.dense_parameters() as f64 * self.dense_bytes_per_param as f64)
+    }
+
+    /// Embedding storage size.
+    pub fn embedding_size(&self) -> DataVolume {
+        self.tables.iter().map(|t| t.size()).sum()
+    }
+
+    /// Total model size.
+    pub fn model_size(&self) -> DataVolume {
+        self.dense_size() + self.embedding_size()
+    }
+
+    /// Share of model size in the embedding tables (the paper: > 95 %).
+    pub fn embedding_share(&self) -> Fraction {
+        Fraction::saturating(self.embedding_size() / self.model_size())
+    }
+
+    /// Dense FLOPs per inference query.
+    pub fn flops_per_query(&self) -> f64 {
+        mlp_flops(&self.bottom_mlp, 1) + mlp_flops(&self.top_mlp, 1)
+    }
+
+    /// Embedding bytes fetched per inference query — the memory-bandwidth
+    /// demand that dominates RM inference.
+    pub fn bytes_per_query(&self) -> DataVolume {
+        self.tables.iter().map(|t| t.bytes_per_query()).sum()
+    }
+
+    /// Memory bandwidth needed to sustain `qps` queries per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is not positive.
+    pub fn bandwidth_at(&self, qps: f64) -> DataRate {
+        assert!(qps > 0.0, "qps must be positive");
+        self.bytes_per_query() * qps / TimeSpan::from_secs(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sizes() {
+        let t = EmbeddingTable::new(1_000_000, 64, 4, 20);
+        assert!((t.size().as_gigabytes() - 0.256).abs() < 1e-9);
+        assert_eq!(t.bytes_per_query().as_bytes(), 20.0 * 64.0 * 4.0);
+    }
+
+    #[test]
+    fn quantization_halves_table_size() {
+        let t = EmbeddingTable::new(1_000_000, 64, 4, 20);
+        let q = t.with_element_bytes(2);
+        assert!((q.size() / t.size() - 0.5).abs() < 1e-12);
+        assert!((q.bytes_per_query() / t.bytes_per_query() - 0.5).abs() < 1e-12);
+        assert_eq!(q.rows(), t.rows());
+        assert_eq!(q.dim(), t.dim());
+    }
+
+    #[test]
+    fn production_rm_is_embedding_dominated() {
+        let rm = DlrmConfig::production_scale();
+        // Paper: embeddings "easily contribute over 95% of the total model size".
+        assert!(
+            rm.embedding_share().value() > 0.95,
+            "share {}",
+            rm.embedding_share()
+        );
+        assert!(rm.embedding_parameters() > 100 * rm.dense_parameters());
+    }
+
+    #[test]
+    fn production_rm_scale_is_plausible() {
+        let rm = DlrmConfig::production_scale();
+        // Hundreds of GB of embeddings; billions of parameters.
+        assert!(rm.model_size().as_gigabytes() > 100.0);
+        assert!(rm.parameters() > 1_000_000_000);
+        assert_eq!(rm.tables().len(), 200);
+    }
+
+    #[test]
+    fn bandwidth_scales_linearly_with_qps() {
+        let rm = DlrmConfig::production_scale();
+        let b1 = rm.bandwidth_at(1000.0);
+        let b2 = rm.bandwidth_at(2000.0);
+        assert!((b2 / b1 - 2.0).abs() < 1e-9);
+        assert!(b1.as_gigabytes_per_sec() > 0.5, "bandwidth {b1}");
+    }
+
+    #[test]
+    fn dense_flops_independent_of_tables() {
+        let mut rm = DlrmConfig::production_scale();
+        let f = rm.flops_per_query();
+        rm.tables_mut().truncate(10);
+        assert_eq!(rm.flops_per_query(), f);
+        assert!(f > 100_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "qps must be positive")]
+    fn bandwidth_rejects_zero_qps() {
+        let _ = DlrmConfig::production_scale().bandwidth_at(0.0);
+    }
+
+    #[test]
+    fn dense_parameters_count_weights_and_biases() {
+        // 2→3: 2*3 weights + 3 biases = 9 per MLP.
+        let cfg = DlrmConfig::new(
+            vec![2, 3],
+            vec![2, 3],
+            vec![EmbeddingTable::new(10, 4, 4, 1)],
+        );
+        assert_eq!(cfg.dense_parameters(), 18);
+        assert_eq!(cfg.embedding_parameters(), 40);
+    }
+}

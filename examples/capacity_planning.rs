@@ -1,0 +1,78 @@
+//! Capacity planning under the paper's growth trends (Fig 2d + §III-C):
+//! the embodied-carbon pipeline of 2.9×/1.5 y training-capacity growth, the
+//! efficiency-of-scale lever, and the hardware life-extension trade-off.
+//!
+//! ```sh
+//! cargo run --example capacity_planning
+//! ```
+
+use sustainai::fleet::capacity::{density_ablation, CapacityPlan};
+use sustainai::fleet::lifetime::{optimal_lifetime, LifetimeTradeoff};
+use sustainai::fleet::server::{ServerKind, ServerSku};
+use sustainai::workload::datagrowth::GrowthTrend;
+
+fn main() {
+    // Deploy for 2.9x/1.5y training-demand growth over 3 years.
+    let sku = ServerSku::preset(ServerKind::GpuTraining);
+    let plan = CapacityPlan::plan(&GrowthTrend::training_capacity(), 500.0, &sku, 1.0, 6);
+    println!("training-capacity plan (demand 2.9x per 1.5y, 3 years):");
+    for step in plan.steps() {
+        println!(
+            "  half-year {}: demand {:>7.0}  in service {:>5}  added {:>4}  embodied +{}",
+            step.period,
+            step.demand,
+            step.servers_in_service,
+            step.servers_added,
+            step.embodied_added
+        );
+    }
+    println!(
+        "  total embodied committed: {} across {} servers\n",
+        plan.total_embodied(),
+        plan.final_servers()
+    );
+
+    // Efficiency of scale: a 4x-denser accelerator SKU for the same demand.
+    let cpu = ServerSku::preset(ServerKind::Inference);
+    let (base, dense) = density_ablation(
+        &GrowthTrend::inference_capacity(),
+        2000.0,
+        &cpu,
+        &sku,
+        4.0,
+        6,
+    );
+    println!("efficiency of scale (inference, 2.5x/1.5y growth, 3 years):");
+    println!(
+        "  CPU fleet:        {:>6} servers, embodied {}",
+        base.final_servers(),
+        base.total_embodied()
+    );
+    println!(
+        "  accelerator fleet:{:>6} servers, embodied {}  ({:.1}x less)",
+        dense.final_servers(),
+        dense.total_embodied(),
+        base.total_embodied() / dense.total_embodied()
+    );
+    println!();
+
+    // Life extension: where is the carbon-optimal decommissioning age?
+    let tradeoff = LifetimeTradeoff::gpu_server();
+    let grid: Vec<f64> = (1..=10).map(|y| y as f64).collect();
+    println!("life-extension trade-off (per server, per service-year):");
+    for point in tradeoff.sweep(&grid) {
+        println!(
+            "  {:>2.0} y: embodied {}  + SDC mitigation {}  = {}",
+            point.lifetime.as_years(),
+            point.embodied_per_year,
+            point.mitigation_per_year,
+            point.total_per_year()
+        );
+    }
+    let best = optimal_lifetime(&tradeoff, &grid);
+    println!(
+        "  carbon-optimal service life: {:.0} years ({}/year)",
+        best.lifetime.as_years(),
+        best.total_per_year()
+    );
+}

@@ -1,0 +1,76 @@
+//! The §IV-C scenario: shift deferrable training jobs into the solar window,
+//! with a battery covering the evening shoulder — the "24/7 carbon-free AI
+//! computing" design space.
+//!
+//! ```sh
+//! cargo run --example carbon_aware_scheduling
+//! ```
+
+use sustainai::core::intensity::CarbonIntensity;
+use sustainai::core::units::{Energy, Fraction, Power, TimeSpan};
+use sustainai::fleet::renewable::{SolarTrace, VariableIntensity};
+use sustainai::fleet::scheduler::{schedule, IntensitySeries, Policy, ScheduledJob};
+use sustainai::fleet::storage::Battery;
+
+fn main() {
+    // A grid whose intensity follows a 100 MW solar farm against 150 MW demand.
+    let mut grid = VariableIntensity::new(
+        CarbonIntensity::from_grams_per_kwh(600.0),
+        CarbonIntensity::from_grams_per_kwh(30.0),
+        Power::from_megawatts(150.0),
+    );
+    grid.add_source(SolarTrace::new(Power::from_megawatts(100.0)));
+
+    // Hourly intensity series over three days.
+    let hourly: Vec<CarbonIntensity> = (0..72)
+        .map(|h| grid.intensity_at(TimeSpan::from_hours(h as f64)))
+        .collect();
+    let series = IntensitySeries::new(hourly);
+
+    // 36 two-hour training jobs arriving around the clock.
+    let jobs: Vec<ScheduledJob> = (0..36)
+        .map(|i| ScheduledJob::new(i, (i * 2) as usize, 2, Energy::from_kilowatt_hours(200.0)))
+        .collect();
+
+    for (name, policy) in [
+        ("immediate (FIFO)", Policy::Immediate),
+        (
+            "carbon-aware, 6h slack",
+            Policy::CarbonAware { max_delay_hours: 6 },
+        ),
+        (
+            "carbon-aware, 24h slack",
+            Policy::CarbonAware {
+                max_delay_hours: 24,
+            },
+        ),
+    ] {
+        let result = schedule(&jobs, &series, policy, None);
+        println!(
+            "{name:<26} total {}  mean delay {:>4.1} h  peak concurrency {}",
+            result.total_co2(),
+            result.mean_delay_hours(),
+            result.peak_concurrency(&jobs)
+        );
+    }
+    println!();
+
+    // A battery charged from midday solar surplus can carry ~2 MWh into the
+    // evening, extending the clean window.
+    let mut battery = Battery::new(
+        Energy::from_megawatt_hours(4.0),
+        Power::from_megawatts(2.0),
+        Fraction::saturating(0.9),
+    );
+    let noon_surplus =
+        grid.renewable_output_at(TimeSpan::from_hours(12.0)) - Power::from_megawatts(80.0);
+    let drawn = battery.charge(noon_surplus.max(Power::ZERO), TimeSpan::from_hours(4.0));
+    let delivered = battery.discharge(Power::from_megawatts(2.0), TimeSpan::from_hours(4.0));
+    println!(
+        "battery: charged {} from midday surplus, delivered {} into the evening \
+         (state of charge now {})",
+        drawn,
+        delivered,
+        battery.state_of_charge()
+    );
+}
