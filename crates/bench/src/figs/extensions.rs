@@ -279,7 +279,7 @@ pub fn estimation_error() -> Table {
     for (name, method) in methods {
         let err = validate_estimator(
             &device,
-            300.0,
+            Power::from_watts(300.0),
             method,
             |t| Fraction::saturating(0.35 + 0.1 * (t.as_minutes() / 11.0).sin()),
             TimeSpan::from_hours(4.0),

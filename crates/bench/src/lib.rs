@@ -5,6 +5,7 @@
 //! and models. The `fig*` binaries print the tables; the Criterion benches
 //! time the generators; `EXPERIMENTS.md` records paper-vs-measured values.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

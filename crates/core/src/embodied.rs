@@ -97,7 +97,7 @@ impl EmbodiedModel {
     /// 45 % average utilization (midpoints of the 3–5 y and 30–60 % ranges).
     pub fn gpu_server() -> Result<EmbodiedModel> {
         EmbodiedModel::new(
-            Co2e::from_kilograms(2000.0),
+            Co2e::from_kilograms(crate::constants::GPU_SERVER_EMBODIED_KG),
             TimeSpan::from_years(4.0),
             Fraction::new(0.45)?,
         )
@@ -106,7 +106,7 @@ impl EmbodiedModel {
     /// The paper's CPU-only server: half the GPU server's embodied emissions.
     pub fn cpu_server() -> Result<EmbodiedModel> {
         EmbodiedModel::new(
-            Co2e::from_kilograms(1000.0),
+            Co2e::from_kilograms(crate::constants::CPU_SERVER_EMBODIED_KG),
             TimeSpan::from_years(4.0),
             Fraction::new(0.45)?,
         )
@@ -173,6 +173,7 @@ impl EmbodiedModel {
     /// The embodied-carbon *rate* (gCO₂e per second of useful work) under a policy.
     pub fn rate(&self, policy: AllocationPolicy) -> Co2e {
         self.amortize(TimeSpan::from_secs(1.0), policy)
+            // lint:allow(panic-discipline) amortize only errs on non-positive spans
             .expect("1 second is a valid span")
     }
 }
@@ -254,12 +255,19 @@ impl ComponentInventory {
     /// "Chasing Carbon" observation that memory/storage dominate embodied cost.
     pub fn gpu_server() -> ComponentInventory {
         let mut inv = ComponentInventory::new();
-        inv.set(Component::Cpu, Co2e::from_kilograms(120.0));
-        inv.set(Component::Accelerator, Co2e::from_kilograms(640.0));
-        inv.set(Component::Dram, Co2e::from_kilograms(420.0));
-        inv.set(Component::Hbm, Co2e::from_kilograms(260.0));
-        inv.set(Component::Ssd, Co2e::from_kilograms(360.0));
-        inv.set(Component::Platform, Co2e::from_kilograms(200.0));
+        use crate::constants as k;
+        inv.set(Component::Cpu, Co2e::from_kilograms(k::GPU_SERVER_CPU_KG));
+        inv.set(
+            Component::Accelerator,
+            Co2e::from_kilograms(k::GPU_SERVER_ACCELERATOR_KG),
+        );
+        inv.set(Component::Dram, Co2e::from_kilograms(k::GPU_SERVER_DRAM_KG));
+        inv.set(Component::Hbm, Co2e::from_kilograms(k::GPU_SERVER_HBM_KG));
+        inv.set(Component::Ssd, Co2e::from_kilograms(k::GPU_SERVER_SSD_KG));
+        inv.set(
+            Component::Platform,
+            Co2e::from_kilograms(k::GPU_SERVER_PLATFORM_KG),
+        );
         inv
     }
 

@@ -387,6 +387,7 @@ impl GridRegion {
             ],
             GridRegion::Nordic => &[(Hydro, 0.70), (Nuclear, 0.18), (Wind, 0.12)],
         };
+        // lint:allow(panic-discipline) preset shares above are normalized by construction
         EnergyMix::new(parts.to_vec()).expect("region presets are normalized")
     }
 

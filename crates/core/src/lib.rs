@@ -43,9 +43,11 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod constants;
 pub mod embodied;
 pub mod equivalence;
 mod error;

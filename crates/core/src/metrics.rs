@@ -159,7 +159,7 @@ impl Leaderboard {
                 score.map(|s| (c, s))
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored.into_iter().map(|(c, _)| c).collect()
     }
 

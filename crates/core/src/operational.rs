@@ -109,6 +109,7 @@ impl OperationalAccount {
     /// (facility-level, i.e. including PUE), in gCO₂e per IT kWh.
     pub fn effective_intensity(&self, basis: AccountingBasis) -> CarbonIntensity {
         let per_kwh = self
+            // lint:allow(magic-constant) 1 kWh probe: unit conversion, not a constant
             .emissions(Energy::from_kilowatt_hours(1.0), basis)
             .as_grams();
         CarbonIntensity::from_grams_per_kwh(per_kwh.max(0.0))

@@ -290,10 +290,7 @@ impl Zipf {
     /// Draws a rank in `1..=n` (1 is the most popular).
     pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
-        {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.n),
         }
@@ -413,19 +410,22 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
     ];
     const P_LOW: f64 = 0.02425;
 
+    /// Evaluates a polynomial with the given coefficients (highest power
+    /// first) at `x` via Horner's rule.
+    fn horner(coeffs: &[f64], x: f64) -> f64 {
+        coeffs.iter().fold(0.0, |acc, c| acc * x + c)
+    }
+
     if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();
-        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        horner(&C, q) / (horner(&D, q) * q + 1.0)
     } else if p <= 1.0 - P_LOW {
         let q = p - 0.5;
         let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        horner(&A, r) * q / (horner(&B, r) * r + 1.0)
     } else {
         let q = (-2.0 * (1.0 - p).ln()).sqrt();
-        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        -horner(&C, q) / (horner(&D, q) * q + 1.0)
     }
 }
 
@@ -459,7 +459,7 @@ impl Summary {
             return Err(Error::Empty("sample"));
         }
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("summary requires finite values"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -471,8 +471,8 @@ impl Summary {
             count: n,
             mean,
             std: var.sqrt(),
-            min: sorted[0],
-            max: sorted[n - 1],
+            min: sorted.first().copied().unwrap_or(f64::NAN),
+            max: sorted.last().copied().unwrap_or(f64::NAN),
             median: percentile_sorted(&sorted, 50.0),
             p99: percentile_sorted(&sorted, 99.0),
         })
@@ -490,8 +490,8 @@ pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
         (0.0..=100.0).contains(&pct),
         "percentile must be in 0..=100"
     );
-    if sorted.len() == 1 {
-        return sorted[0];
+    if let [only] = sorted {
+        return *only;
     }
     let rank = pct / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -511,7 +511,7 @@ pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
 /// Panics if `values` is empty or contains NaN.
 pub fn percentile(values: &[f64], pct: f64) -> f64 {
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile requires finite values"));
+    sorted.sort_by(f64::total_cmp);
     percentile_sorted(&sorted, pct)
 }
 

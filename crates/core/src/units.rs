@@ -174,12 +174,35 @@ macro_rules! impl_quantity {
         #[allow(clippy::derive_ord_xor_partial_ord)]
         impl Ord for $ty {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0
-                    .partial_cmp(&other.0)
-                    .expect("quantity comparison requires finite values")
+                self.0.total_cmp(&other.0)
             }
         }
     };
+}
+
+// ---------------------------------------------------------------------------
+// Approximate comparison
+// ---------------------------------------------------------------------------
+
+/// Approximate float equality with the workspace-default tolerance (`1e-9`,
+/// relative).
+///
+/// Exact `==`/`!=` on floats is banned outside this module (`cargo xtask
+/// lint`, rule `float-eq`): accounting chains accumulate rounding error, so
+/// callers must state a tolerance instead of relying on bit equality.
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, 1e-9)
+}
+
+/// [`approx_eq`] with an explicit tolerance, relative to the larger operand
+/// magnitude (absolute near zero, so `approx_eq_eps(0.0, 1e-12, 1e-9)`
+/// holds).
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    if a == b {
+        return true; // covers equal infinities and exact matches
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= eps * scale
 }
 
 // ---------------------------------------------------------------------------
@@ -200,28 +223,32 @@ impl_quantity!(Energy, "energy");
 
 impl Energy {
     /// Creates an energy from joules.
+    ///
+    /// Debug builds assert the value is finite: a NaN or infinite energy is
+    /// always an upstream accounting bug, never a meaningful quantity.
     pub fn from_joules(joules: f64) -> Energy {
+        debug_assert!(joules.is_finite(), "energy must be finite, got {joules} J");
         Energy(joules)
     }
 
     /// Creates an energy from watt-hours.
     pub fn from_watt_hours(wh: f64) -> Energy {
-        Energy(wh * 3_600.0)
+        Energy::from_joules(wh * 3_600.0)
     }
 
     /// Creates an energy from kilowatt-hours.
     pub fn from_kilowatt_hours(kwh: f64) -> Energy {
-        Energy(kwh * 3.6e6)
+        Energy::from_joules(kwh * 3.6e6)
     }
 
     /// Creates an energy from megawatt-hours.
     pub fn from_megawatt_hours(mwh: f64) -> Energy {
-        Energy(mwh * 3.6e9)
+        Energy::from_joules(mwh * 3.6e9)
     }
 
     /// Creates an energy from gigawatt-hours.
     pub fn from_gigawatt_hours(gwh: f64) -> Energy {
-        Energy(gwh * 3.6e12)
+        Energy::from_joules(gwh * 3.6e12)
     }
 
     /// The value in joules.
@@ -293,18 +320,22 @@ impl_quantity!(Power, "power");
 
 impl Power {
     /// Creates a power from watts.
+    ///
+    /// Debug builds assert the value is finite: a NaN or infinite power draw
+    /// is always an upstream accounting bug, never a meaningful quantity.
     pub fn from_watts(watts: f64) -> Power {
+        debug_assert!(watts.is_finite(), "power must be finite, got {watts} W");
         Power(watts)
     }
 
     /// Creates a power from kilowatts.
     pub fn from_kilowatts(kw: f64) -> Power {
-        Power(kw * 1e3)
+        Power::from_watts(kw * 1e3)
     }
 
     /// Creates a power from megawatts.
     pub fn from_megawatts(mw: f64) -> Power {
-        Power(mw * 1e6)
+        Power::from_watts(mw * 1e6)
     }
 
     /// The value in watts.
@@ -454,18 +485,26 @@ impl_quantity!(Co2e, "co2e");
 
 impl Co2e {
     /// Creates an emission mass from grams of CO₂e.
+    ///
+    /// Debug builds assert the value is finite: a NaN or infinite emission
+    /// mass is always an upstream accounting bug, never a meaningful
+    /// quantity. (Negative values stay legal — see the type docs.)
     pub fn from_grams(grams: f64) -> Co2e {
+        debug_assert!(
+            grams.is_finite(),
+            "emissions must be finite, got {grams} gCO2e"
+        );
         Co2e(grams)
     }
 
     /// Creates an emission mass from kilograms of CO₂e.
     pub fn from_kilograms(kg: f64) -> Co2e {
-        Co2e(kg * 1e3)
+        Co2e::from_grams(kg * 1e3)
     }
 
     /// Creates an emission mass from metric tonnes of CO₂e.
     pub fn from_tonnes(tonnes: f64) -> Co2e {
-        Co2e(tonnes * 1e6)
+        Co2e::from_grams(tonnes * 1e6)
     }
 
     /// The value in grams.
@@ -708,9 +747,7 @@ impl Eq for Fraction {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for Fraction {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("fraction is always finite")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -852,7 +889,9 @@ mod tests {
     #[test]
     fn validated_rejects_negative_and_nan() {
         assert!(Energy::from_joules(-1.0).validated().is_err());
-        assert!(Energy::from_joules(f64::NAN).validated().is_err());
+        // Bypass from_joules: its debug_assert rejects NaN at construction,
+        // while validated() guards values corrupted after construction.
+        assert!(Energy(f64::NAN).validated().is_err());
         assert!(Energy::from_joules(0.0).validated().is_ok());
     }
 

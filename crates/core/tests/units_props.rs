@@ -1,0 +1,90 @@
+//! Property tests for the `units` newtypes: conversion round-trips,
+//! arithmetic invariants, and the `approx_eq` comparison helpers.
+
+use proptest::prelude::*;
+
+use sustain_core::units::{approx_eq, approx_eq_eps, Co2e, Energy, Power};
+
+proptest! {
+    #[test]
+    fn joules_kwh_round_trip(joules in 0.0f64..1e15) {
+        let e = Energy::from_joules(joules);
+        let back = Energy::from_kilowatt_hours(e.as_kilowatt_hours());
+        prop_assert!(approx_eq(back.as_joules(), joules), "{} vs {joules}", back.as_joules());
+    }
+
+    #[test]
+    fn kwh_mwh_round_trip(kwh in 0.0f64..1e9) {
+        let e = Energy::from_kilowatt_hours(kwh);
+        prop_assert!(approx_eq(e.as_megawatt_hours() * 1e3, kwh));
+        let back = Energy::from_megawatt_hours(e.as_megawatt_hours());
+        prop_assert!(approx_eq(back.as_kilowatt_hours(), kwh));
+    }
+
+    #[test]
+    fn joules_mwh_round_trip(mwh in 0.0f64..1e6) {
+        let e = Energy::from_megawatt_hours(mwh);
+        let back = Energy::from_joules(e.as_joules());
+        prop_assert!(approx_eq(back.as_megawatt_hours(), mwh));
+    }
+
+    #[test]
+    fn energy_sum_of_non_negatives_is_non_negative(
+        a in 0.0f64..1e12,
+        b in 0.0f64..1e12,
+        c in 0.0f64..1e12,
+    ) {
+        let total: Energy = [a, b, c].into_iter().map(Energy::from_joules).sum();
+        prop_assert!(total.as_joules() >= 0.0);
+        prop_assert!(total >= Energy::from_joules(a).max(Energy::from_joules(b)));
+    }
+
+    #[test]
+    fn co2e_sum_of_non_negatives_is_non_negative(
+        a in 0.0f64..1e9,
+        b in 0.0f64..1e9,
+        c in 0.0f64..1e9,
+    ) {
+        let total: Co2e = [a, b, c].into_iter().map(Co2e::from_kilograms).sum();
+        prop_assert!(total.as_kilograms() >= 0.0);
+        prop_assert!(total >= Co2e::from_kilograms(c));
+    }
+
+    #[test]
+    fn power_conversion_round_trip(watts in 0.0f64..1e9) {
+        let p = Power::from_watts(watts);
+        let back = Power::from_kilowatts(p.as_kilowatts());
+        prop_assert!(approx_eq(back.as_watts(), watts));
+    }
+
+    #[test]
+    fn approx_eq_is_reflexive(x in -1e12f64..1e12) {
+        prop_assert!(approx_eq(x, x));
+        prop_assert!(approx_eq_eps(x, x, 1e-15));
+    }
+
+    #[test]
+    fn approx_eq_is_symmetric(x in -1e6f64..1e6, y in -1e6f64..1e6) {
+        prop_assert_eq!(approx_eq(x, y), approx_eq(y, x));
+    }
+
+    #[test]
+    fn approx_eq_accepts_within_relative_tolerance(x in 1.0f64..1e12) {
+        prop_assert!(approx_eq(x, x * (1.0 + 1e-12)));
+        prop_assert!(approx_eq_eps(x, x * (1.0 + 1e-7), 1e-6));
+    }
+
+    #[test]
+    fn approx_eq_rejects_beyond_tolerance(x in 1.0f64..1e12) {
+        prop_assert!(!approx_eq(x, x * (1.0 + 1e-6)));
+        prop_assert!(!approx_eq_eps(x, x * (1.0 + 1e-3), 1e-6));
+    }
+}
+
+#[test]
+fn approx_eq_handles_zero_and_tiny_magnitudes() {
+    // Near zero the scale floor (1.0) turns the bound absolute.
+    assert!(approx_eq(0.0, 0.0));
+    assert!(approx_eq(0.0, 1e-12));
+    assert!(!approx_eq(0.0, 1e-6));
+}

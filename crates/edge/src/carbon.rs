@@ -58,7 +58,7 @@ impl EdgeCarbonEstimator {
     /// grid intensity.
     pub fn paper_default() -> EdgeCarbonEstimator {
         EdgeCarbonEstimator {
-            device_power: Power::from_watts(3.0),
+            device_power: Power::from_watts(crate::constants::EDGE_DEVICE_TRAIN_WATTS),
             comm: CommModel::paper_default(),
             intensity: CarbonIntensity::WORLD_AVERAGE_2021,
         }
@@ -115,10 +115,12 @@ impl CentralizedBaseline {
     pub fn facility_energy(&self) -> Energy {
         match self {
             CentralizedBaseline::P100Base | CentralizedBaseline::P100Green => {
-                Energy::from_kilowatt_hours(201.0 * 1.58)
+                use crate::constants::{P100_FACILITY_PUE, P100_TRAIN_IT_KWH};
+                Energy::from_kilowatt_hours(P100_TRAIN_IT_KWH * P100_FACILITY_PUE)
             }
             CentralizedBaseline::TpuBase | CentralizedBaseline::TpuGreen => {
-                Energy::from_kilowatt_hours(50.0 * 1.10)
+                use crate::constants::{TPU_FACILITY_PUE, TPU_TRAIN_IT_KWH};
+                Energy::from_kilowatt_hours(TPU_TRAIN_IT_KWH * TPU_FACILITY_PUE)
             }
         }
     }
@@ -131,7 +133,7 @@ impl CentralizedBaseline {
             }
             // Renewable supply: solar's life-cycle intensity.
             CentralizedBaseline::P100Green | CentralizedBaseline::TpuGreen => {
-                CarbonIntensity::from_grams_per_kwh(41.0)
+                CarbonIntensity::from_grams_per_kwh(crate::constants::SOLAR_LIFECYCLE_G_PER_KWH)
             }
         }
     }

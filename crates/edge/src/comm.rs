@@ -23,7 +23,7 @@ impl CommModel {
     /// power, and omitted other energy").
     pub fn paper_default() -> CommModel {
         CommModel {
-            router_power: Power::from_watts(7.5),
+            router_power: Power::from_watts(crate::constants::ROUTER_WATTS),
             device_radio_power: Power::ZERO,
         }
     }

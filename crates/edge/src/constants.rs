@@ -1,0 +1,32 @@
+//! Named edge/federated-learning constants with provenance.
+//!
+//! Kept separate so the `cargo xtask lint` rule `magic-constant` can ban
+//! bare literals in carbon-unit constructors across the rest of the crate.
+
+/// Power draw of a smartphone-class client while training, in watts — the
+/// published FL carbon methodology's reference device figure.
+pub const EDGE_DEVICE_TRAIN_WATTS: f64 = 3.0;
+
+/// Residential Wi-Fi router power charged to each transfer, in watts — the
+/// same methodology multiplies transfer time by router power and omits
+/// other network energy.
+pub const ROUTER_WATTS: f64 = 7.5;
+
+/// IT energy of the centralized P100 baseline training run, in kWh —
+/// Strubell et al.'s Transformer_Big measurement.
+pub const P100_TRAIN_IT_KWH: f64 = 201.0;
+
+/// PUE assumed for the P100 facility (typical datacenter overhead).
+pub const P100_FACILITY_PUE: f64 = 1.58;
+
+/// IT energy of the centralized TPU baseline run, in kWh — ~4× more
+/// efficient than the P100 run.
+pub const TPU_TRAIN_IT_KWH: f64 = 50.0;
+
+/// PUE of the hyperscale TPU facility.
+pub const TPU_FACILITY_PUE: f64 = 1.10;
+
+/// Life-cycle carbon intensity of solar generation, in gCO₂e/kWh — the
+/// "renewable supply" scenario is not zero-carbon once panel manufacturing
+/// is counted.
+pub const SOLAR_LIFECYCLE_G_PER_KWH: f64 = 41.0;

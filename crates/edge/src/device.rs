@@ -69,7 +69,7 @@ impl ClientDevice {
     pub fn paper_reference(tier: DeviceTier) -> ClientDevice {
         ClientDevice {
             tier,
-            compute_power: Power::from_watts(3.0),
+            compute_power: Power::from_watts(crate::constants::EDGE_DEVICE_TRAIN_WATTS),
             download_rate: DataRate::from_bytes_per_sec(20e6 / 8.0),
             upload_rate: DataRate::from_bytes_per_sec(5e6 / 8.0),
         }

@@ -117,6 +117,7 @@ impl FlApp {
     /// and transfer times follow the device's link rates. Dropouts compute
     /// half a round and skip the upload.
     pub fn simulate<R: Rng + ?Sized>(&self, rng: &mut R) -> ClientLog {
+        // lint:allow(panic-discipline) fixed, known-good jitter parameters
         let jitter = LogNormal::from_median_p99(1.0, 3.0).expect("valid jitter");
         let comm = CommModel::paper_default();
         let mut log = ClientLog::ninety_day();

@@ -16,11 +16,13 @@
 //!   application presets, and the centralized Transformer_Big baselines
 //!   (P100/TPU, grid and green).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod carbon;
 pub mod comm;
+pub mod constants;
 pub mod device;
 pub mod fl;
 pub mod log;

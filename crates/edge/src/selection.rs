@@ -110,7 +110,7 @@ pub fn simulate_selection<R: Rng + ?Sized>(
                 candidates.sort_by(|a, b| {
                     let ea = round_energy(&a.device, &comm, update_size, mid_tier_compute);
                     let eb = round_energy(&b.device, &comm, update_size, mid_tier_compute);
-                    ea.partial_cmp(&eb).expect("energies are finite")
+                    ea.cmp(&eb)
                 });
                 candidates.into_iter().take(cohort).collect()
             }

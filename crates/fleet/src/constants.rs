@@ -1,0 +1,9 @@
+//! Named fleet-model constants with provenance.
+//!
+//! Kept separate so the `cargo xtask lint` rule `magic-constant` can ban
+//! bare literals in carbon-unit constructors across the rest of the crate.
+
+/// Carbon cost of one silent-data-corruption event on an ageing GPU server,
+/// in kg CO₂e: the re-run energy plus validation sweeps it triggers (§III's
+/// reliability-vs-lifetime trade-off, order-of-magnitude assumption).
+pub const SDC_EVENT_COST_KG: f64 = 200.0;

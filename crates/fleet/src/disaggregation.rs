@@ -82,9 +82,11 @@ impl PipelineStudy {
     /// tier (1000 kg per unit of ingestion throughput served).
     pub fn embodied_for(&self, topology: Topology, target_goodput: f64) -> Co2e {
         let gpu = EmbodiedModel::gpu_server()
+            // lint:allow(panic-discipline) preset built from vetted paper constants
             .expect("paper constants are valid")
             .total();
         let cpu = EmbodiedModel::cpu_server()
+            // lint:allow(panic-discipline) preset built from vetted paper constants
             .expect("paper constants are valid")
             .total();
         let gpu_servers = self.gpu_servers_needed(topology, target_goodput);

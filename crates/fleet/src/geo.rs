@@ -167,7 +167,7 @@ pub fn place(jobs: &[GeoJob], regions: &[Region], policy: GeoPolicy) -> GeoSched
                         .intensity()
                         .mean_over(job.arrival_hour, job.duration_hours)
                         .as_grams_per_kwh();
-                    ia.partial_cmp(&ib).expect("intensities are finite")
+                    ia.total_cmp(&ib)
                 });
                 order
             }

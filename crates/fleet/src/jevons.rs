@@ -153,6 +153,7 @@ impl ElectricityTrend {
     /// Panics if fewer than two anchors are recorded.
     pub fn mean_annual_growth(&self) -> f64 {
         assert!(self.anchors.len() >= 2, "need at least two anchors");
+        // lint:allow(panic-discipline) at least two anchors asserted above
         let (y0, e0) = self.anchors[0];
         let (y1, e1) = self.anchors[self.anchors.len() - 1];
         (e1 / e0).powf(1.0 / (y1 - y0) as f64)

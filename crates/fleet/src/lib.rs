@@ -21,12 +21,14 @@
 //! * [`jevons`] — efficiency-vs-demand dynamics (Fig 8) and the fleet
 //!   electricity trend (Fig 3c).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod autoscale;
 pub mod capacity;
 pub mod cluster;
+pub mod constants;
 pub mod datacenter;
 pub mod disaggregation;
 pub mod geo;

@@ -114,12 +114,13 @@ impl LifetimeTradeoff {
     /// fleet norm, which is exactly the paper's life-extension argument.
     pub fn gpu_server() -> LifetimeTradeoff {
         let embodied = EmbodiedModel::gpu_server()
+            // lint:allow(panic-discipline) preset built from vetted paper constants
             .expect("paper constants are valid")
             .total();
         LifetimeTradeoff::new(
             embodied,
             WearoutModel::fleet_processor(),
-            Co2e::from_kilograms(200.0),
+            Co2e::from_kilograms(crate::constants::SDC_EVENT_COST_KG),
         )
     }
 
@@ -160,9 +161,10 @@ pub fn optimal_lifetime(tradeoff: &LifetimeTradeoff, years: &[f64]) -> LifetimeP
         .into_iter()
         .min_by(|a, b| {
             a.total_per_year()
-                .partial_cmp(&b.total_per_year())
-                .expect("carbon totals are finite")
+                .as_kilograms()
+                .total_cmp(&b.total_per_year().as_kilograms())
         })
+        // lint:allow(panic-discipline) sweep always yields at least one candidate year
         .expect("sweep is non-empty")
 }
 

@@ -215,6 +215,7 @@ pub fn schedule(
     max_concurrent: Option<usize>,
 ) -> ScheduleResult {
     if let Some(0) = max_concurrent {
+        // lint:allow(panic-discipline) documented precondition in the fn docs
         panic!("max_concurrent must be at least 1");
     }
     let horizon = series.len()
@@ -244,7 +245,7 @@ pub fn schedule(
             .min_by(|&a, &b| {
                 let ia = series.mean_over(a, job.duration_hours).as_grams_per_kwh();
                 let ib = series.mean_over(b, job.duration_hours).as_grams_per_kwh();
-                ia.partial_cmp(&ib).expect("intensities are finite")
+                ia.total_cmp(&ib)
             })
             .unwrap_or_else(|| {
                 // Push past the slack window to the first feasible slot.

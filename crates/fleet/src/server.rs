@@ -89,8 +89,10 @@ impl ServerSku {
             ServerKind::Inference => (100.0, 450.0, 0),
         };
         let embodied = if kind == ServerKind::GpuTraining {
+            // lint:allow(panic-discipline) preset built from vetted paper constants
             EmbodiedModel::gpu_server().expect("preset parameters are valid")
         } else {
+            // lint:allow(panic-discipline) preset built from vetted paper constants
             EmbodiedModel::cpu_server().expect("preset parameters are valid")
         };
         ServerSku::new(
@@ -137,6 +139,7 @@ impl ServerSku {
                 TimeSpan::from_secs(1.0),
                 sustain_core::embodied::AllocationPolicy::TimeShare,
             )
+            // lint:allow(panic-discipline) amortize only errs on non-positive spans
             .expect("1 second is a valid span")
     }
 

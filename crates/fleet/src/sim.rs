@@ -133,6 +133,7 @@ impl FleetSim {
         let step = TimeSpan::from_hours(1.0);
         let steps = self.horizon.as_hours().ceil() as usize;
         let total_gpus = self.cluster.total_gpus() as f64;
+        // lint:allow(panic-discipline) documented panic on a non-positive arrival rate
         let arrivals = Poisson::new(self.arrivals_per_day / 24.0).expect("positive arrival rate");
 
         let mut queue: VecDeque<RunningJob> = VecDeque::new();
@@ -164,6 +165,7 @@ impl FleetSim {
             // Placement (FIFO).
             while let Some(job) = queue.front() {
                 if job.gpus <= free_gpus {
+                    // lint:allow(panic-discipline) loop condition checked front()
                     let job = queue.pop_front().expect("front exists");
                     free_gpus -= job.gpus;
                     running.push(job);

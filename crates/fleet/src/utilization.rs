@@ -29,6 +29,7 @@ impl UtilizationModel {
     /// mass falls in the paper's 30–50 % band.
     pub fn research_cluster() -> UtilizationModel {
         UtilizationModel {
+            // lint:allow(panic-discipline) preset built from vetted paper constants
             dist: Normal::new(0.40, 0.09).expect("constants are valid"),
         }
     }
@@ -53,6 +54,7 @@ impl UtilizationModel {
     /// Builds the Figure 10 histogram over `n` sampled workflows with
     /// 10-percentage-point bins.
     pub fn histogram<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Histogram {
+        // lint:allow(panic-discipline) fixed, known-good bin parameters
         let mut h = Histogram::new(0.0, 1.0, 10).expect("bins are valid");
         for _ in 0..n {
             h.record(self.sample(rng).value());
@@ -159,8 +161,10 @@ impl UtilizationSweep {
         let embodied = self
             .embodied
             .with_expected_utilization(utilization)
+            // lint:allow(panic-discipline) sweep utilizations are strictly positive
             .expect("positive utilization")
             .amortize(self.busy_time, AllocationPolicy::UsageShare)
+            // lint:allow(panic-discipline) amortize only errs on non-positive spans
             .expect("busy time is non-negative");
         let grid = CarbonFootprint::new(operational, embodied);
         SweepPoint {

@@ -128,8 +128,8 @@ impl CacheEnergyModel {
     /// fetch (full Transformer encode vs a DRAM read + network send).
     pub fn paper_default() -> CacheEnergyModel {
         CacheEnergyModel {
-            miss_energy: Energy::from_joules(20.0),
-            hit_energy: Energy::from_joules(0.2),
+            miss_energy: Energy::from_joules(crate::constants::CACHE_MISS_ENERGY_J),
+            hit_energy: Energy::from_joules(crate::constants::CACHE_HIT_ENERGY_J),
         }
     }
 
@@ -170,6 +170,7 @@ pub fn simulate_cache<R: Rng + ?Sized>(
     energy: CacheEnergyModel,
 ) -> CacheSimResult {
     assert!(requests > 0, "need at least one request");
+    // lint:allow(panic-discipline) documented panic on invalid zipf parameters
     let zipf = Zipf::new(universe, zipf_exponent).expect("valid zipf parameters");
     let mut cache = KeyCache::new(policy, capacity);
     for _ in 0..requests {

@@ -1,0 +1,13 @@
+//! Named optimization-model constants with provenance.
+//!
+//! Kept separate so the `cargo xtask lint` rule `magic-constant` can ban
+//! bare literals in carbon-unit constructors across the rest of the crate.
+
+/// Energy of recomputing a cacheable result on a CPU (full Transformer
+/// encode), in joules — the expensive path a semantic cache avoids (§IV's
+/// caching discussion, order-of-magnitude calibration).
+pub const CACHE_MISS_ENERGY_J: f64 = 20.0;
+
+/// Energy of serving the same result from cache (a DRAM read plus network
+/// send), in joules — roughly 100× cheaper than recompute.
+pub const CACHE_HIT_ENERGY_J: f64 = 0.2;

@@ -19,11 +19,13 @@
 //!   value and age-based sampling (§IV-A).
 //! * [`pareto`] — multi-objective Pareto-frontier extraction (§IV-B, Fig 12).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod cache;
 pub mod compression;
+pub mod constants;
 pub mod halflife;
 pub mod multitenancy;
 pub mod nas;

@@ -59,7 +59,7 @@ pub struct PackingResult {
 /// Packs tenants first-fit-decreasing onto unit-capacity devices.
 pub fn pack(tenants: &[Tenant]) -> PackingResult {
     let mut demands: Vec<f64> = tenants.iter().map(|t| t.demand.value()).collect();
-    demands.sort_by(|a, b| b.partial_cmp(a).expect("demands are finite"));
+    demands.sort_by(|a, b| b.total_cmp(a));
     let mut bins: Vec<(f64, u32)> = Vec::new(); // (occupied, tenants)
     for d in demands {
         match bins.iter_mut().find(|(occ, _)| *occ + d <= 1.0 + 1e-12) {
@@ -119,6 +119,7 @@ pub fn evaluate(
 ) -> MultiTenancyReport {
     let shared = pack(tenants);
     let alone = dedicated(tenants);
+    // lint:allow(panic-discipline) preset built from vetted paper constants
     let embodied = EmbodiedModel::gpu_server().expect("paper constants are valid");
     let per_device_per_year = embodied.total() / embodied.lifetime().as_years();
     let saved_devices = alone.devices.saturating_sub(shared.devices) as f64;

@@ -51,12 +51,7 @@ impl Candidate {
 /// error.
 pub fn pareto_frontier(candidates: &[Candidate]) -> Vec<Candidate> {
     let mut sorted: Vec<Candidate> = candidates.to_vec();
-    sorted.sort_by(|a, b| {
-        a.cost
-            .partial_cmp(&b.cost)
-            .expect("costs are finite")
-            .then(a.error.partial_cmp(&b.error).expect("errors are finite"))
-    });
+    sorted.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(a.error.total_cmp(&b.error)));
     let mut frontier: Vec<Candidate> = Vec::new();
     for c in sorted {
         match frontier.last() {
@@ -86,8 +81,10 @@ pub fn knee_point(candidates: &[Candidate]) -> Option<Candidate> {
     if frontier.len() < 3 {
         return None;
     }
-    let first = frontier[0];
-    let last = frontier[frontier.len() - 1];
+    let (first, last) = match (frontier.first(), frontier.last()) {
+        (Some(&first), Some(&last)) => (first, last),
+        _ => return None,
+    };
     let c_span = (last.cost - first.cost).max(f64::MIN_POSITIVE);
     let e_span = (first.error - last.error).max(f64::MIN_POSITIVE);
     frontier
@@ -96,7 +93,7 @@ pub fn knee_point(candidates: &[Candidate]) -> Option<Candidate> {
         .max_by(|a, b| {
             let da = knee_distance(a, &first, c_span, e_span);
             let db = knee_distance(b, &first, c_span, e_span);
-            da.partial_cmp(&db).expect("distances are finite")
+            da.total_cmp(&db)
         })
         .filter(|best| knee_distance(best, &first, c_span, e_span) > 0.0)
 }

@@ -115,7 +115,7 @@ pub fn quantize_hottest(
     order.sort_by(|&a, &b| {
         let ta = config.tables()[a].bytes_per_query().as_bytes();
         let tb = config.tables()[b].bytes_per_query().as_bytes();
-        tb.partial_cmp(&ta).expect("traffic is finite")
+        tb.total_cmp(&ta)
     });
 
     let target = bandwidth_before.as_bytes() * traffic_share.value();

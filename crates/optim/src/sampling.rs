@@ -91,9 +91,11 @@ impl ProxyEvaluation {
             sample_fraction.value() > 0.0,
             "sample fraction must be positive"
         );
+        // lint:allow(panic-discipline) documented panic on an invalid quality spread
         let spread = Normal::new(0.0, self.quality_spread).expect("valid spread");
         let truth: Vec<f64> = (0..self.algorithms).map(|_| spread.sample(rng)).collect();
         let sigma = self.full_data_noise / sample_fraction.value().sqrt();
+        // lint:allow(panic-discipline) sigma is finite for positive sample fractions
         let noise = Normal::new(0.0, sigma).expect("valid noise");
         let proxy: Vec<f64> = truth.iter().map(|t| t + noise.sample(rng)).collect();
         kendall_tau(&truth, &proxy)

@@ -1,0 +1,17 @@
+//! Named physical constants for the simulated power/energy counters.
+//!
+//! Provenanced numbers only — the `cargo xtask lint` rule `magic-constant`
+//! bans bare literals in carbon-unit constructors elsewhere in the crate.
+
+/// Idle power of a dual-socket server's DRAM subsystem, in watts (RAPL DRAM
+/// domain; order-of-magnitude from published SPECpower-style breakdowns).
+pub const DRAM_IDLE_WATTS: f64 = 16.0;
+
+/// Fully-loaded DRAM subsystem power, in watts.
+pub const DRAM_PEAK_WATTS: f64 = 60.0;
+
+/// Idle uncore (caches, memory controllers, interconnect) power, in watts.
+pub const UNCORE_IDLE_WATTS: f64 = 10.0;
+
+/// Fully-loaded uncore power, in watts.
+pub const UNCORE_PEAK_WATTS: f64 = 40.0;

@@ -72,8 +72,14 @@ impl SimulatedRapl {
         let cpu = DeviceSpec::CpuServer;
         SimulatedRapl {
             package_model: LinearPowerModel::new(cpu.idle() * 0.6, cpu.peak() * 0.7),
-            dram_model: LinearPowerModel::new(Power::from_watts(16.0), Power::from_watts(60.0)),
-            uncore_model: LinearPowerModel::new(Power::from_watts(10.0), Power::from_watts(40.0)),
+            dram_model: LinearPowerModel::new(
+                Power::from_watts(crate::constants::DRAM_IDLE_WATTS),
+                Power::from_watts(crate::constants::DRAM_PEAK_WATTS),
+            ),
+            uncore_model: LinearPowerModel::new(
+                Power::from_watts(crate::constants::UNCORE_IDLE_WATTS),
+                Power::from_watts(crate::constants::UNCORE_PEAK_WATTS),
+            ),
             package_uj: 0,
             dram_uj: 0,
             uncore_uj: 0,
@@ -121,7 +127,7 @@ pub struct SimulatedNvml {
     spec: DeviceSpec,
     utilization: Fraction,
     energy: Energy,
-    noise_std_watts: f64,
+    noise_std: Power,
 }
 
 impl SimulatedNvml {
@@ -132,13 +138,13 @@ impl SimulatedNvml {
             spec,
             utilization: Fraction::ZERO,
             energy: Energy::ZERO,
-            noise_std_watts: 0.0,
+            noise_std: Power::ZERO,
         }
     }
 
-    /// Adds Gaussian read noise with the given standard deviation (watts).
-    pub fn with_noise(mut self, std_watts: f64) -> SimulatedNvml {
-        self.noise_std_watts = std_watts.max(0.0);
+    /// Adds Gaussian read noise with the given standard deviation.
+    pub fn with_noise(mut self, noise_std: Power) -> SimulatedNvml {
+        self.noise_std = noise_std.max(Power::ZERO);
         self
     }
 
@@ -166,10 +172,11 @@ impl SimulatedNvml {
     /// `nvmlDeviceGetPowerUsage` would report (never negative).
     pub fn read_power<R: Rng + ?Sized>(&self, rng: &mut R) -> Power {
         let true_power = self.model.power(self.utilization);
-        if self.noise_std_watts == 0.0 {
+        if self.noise_std.is_zero() {
             return true_power;
         }
-        let noise = Normal::new(0.0, self.noise_std_watts)
+        let noise = Normal::new(0.0, self.noise_std.as_watts())
+            // lint:allow(panic-discipline) with_noise clamps the std non-negative
             .expect("noise std validated in with_noise")
             .sample(rng);
         Power::from_watts((true_power.as_watts() + noise).max(0.0))
@@ -246,7 +253,7 @@ mod tests {
 
     #[test]
     fn nvml_noise_is_unbiased() {
-        let mut gpu = SimulatedNvml::new(DeviceSpec::V100).with_noise(5.0);
+        let mut gpu = SimulatedNvml::new(DeviceSpec::V100).with_noise(Power::from_watts(5.0));
         gpu.set_utilization(Fraction::new(0.5).unwrap());
         let mut rng = StdRng::seed_from_u64(42);
         let n = 20_000;
@@ -267,7 +274,7 @@ mod tests {
 
     #[test]
     fn nvml_noisy_power_never_negative() {
-        let gpu = SimulatedNvml::new(DeviceSpec::Smartphone).with_noise(50.0);
+        let gpu = SimulatedNvml::new(DeviceSpec::Smartphone).with_noise(Power::from_watts(50.0));
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..1000 {
             assert!(gpu.read_power(&mut rng) >= Power::ZERO);

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use sustain_core::units::{Energy, Fraction, TimeSpan};
+use sustain_core::units::{Energy, Fraction, Power, TimeSpan};
 
 use crate::device::PowerModel;
 
@@ -31,13 +31,13 @@ pub enum EstimationMethod {
 }
 
 impl EstimationMethod {
-    /// Estimated power at a utilization, given the device's TDP in watts.
-    pub fn estimate_watts(&self, tdp_watts: f64, utilization: Fraction) -> f64 {
+    /// Estimated power draw at a utilization, given the device's TDP.
+    pub fn estimate_power(&self, tdp: Power, utilization: Fraction) -> Power {
         match self {
-            EstimationMethod::TdpTimesUtilization => tdp_watts * utilization.value(),
-            EstimationMethod::HalfTdp => tdp_watts * 0.5,
+            EstimationMethod::TdpTimesUtilization => tdp * utilization.value(),
+            EstimationMethod::HalfTdp => tdp * 0.5,
             EstimationMethod::LinearWithIdle { idle_fraction } => {
-                tdp_watts * idle_fraction + tdp_watts * (1.0 - idle_fraction) * utilization.value()
+                tdp * *idle_fraction + tdp * (1.0 - idle_fraction) * utilization.value()
             }
         }
     }
@@ -75,7 +75,7 @@ impl EstimationError {
 /// Panics if `step` or `duration` is not positive.
 pub fn validate_estimator<M, F>(
     device: &M,
-    tdp_watts: f64,
+    tdp: Power,
     method: EstimationMethod,
     mut utilization: F,
     duration: TimeSpan,
@@ -94,7 +94,7 @@ where
         let span = step.min(duration - t);
         let u = utilization(t);
         metered += device.power(u) * span;
-        estimated += Energy::from_joules(method.estimate_watts(tdp_watts, u) * span.as_secs());
+        estimated += method.estimate_power(tdp, u) * span;
         t += step;
     }
     EstimationError { metered, estimated }
@@ -104,7 +104,6 @@ where
 mod tests {
     use super::*;
     use crate::device::{DeviceSpec, LinearPowerModel};
-    use sustain_core::units::Power;
 
     fn half() -> Fraction {
         Fraction::saturating(0.5)
@@ -117,7 +116,7 @@ mod tests {
         let v100 = DeviceSpec::V100.power_model();
         let err = validate_estimator(
             &v100,
-            300.0,
+            Power::from_watts(300.0),
             EstimationMethod::TdpTimesUtilization,
             |_| Fraction::saturating(0.2),
             TimeSpan::from_hours(1.0),
@@ -135,7 +134,7 @@ mod tests {
         let v100 = DeviceSpec::V100.power_model();
         let err = validate_estimator(
             &v100,
-            300.0,
+            Power::from_watts(300.0),
             EstimationMethod::LinearWithIdle {
                 idle_fraction: 40.0 / 300.0,
             },
@@ -161,7 +160,7 @@ mod tests {
         let flat = LinearPowerModel::new(Power::ZERO, Power::from_watts(300.0));
         let err = validate_estimator(
             &flat,
-            300.0,
+            Power::from_watts(300.0),
             EstimationMethod::HalfTdp,
             |_| half(),
             TimeSpan::from_hours(1.0),
@@ -171,7 +170,7 @@ mod tests {
         // At full load it underestimates by half.
         let err = validate_estimator(
             &flat,
-            300.0,
+            Power::from_watts(300.0),
             EstimationMethod::HalfTdp,
             |_| Fraction::ONE,
             TimeSpan::from_hours(1.0),
@@ -188,7 +187,7 @@ mod tests {
         let run = |method| {
             validate_estimator(
                 &a100,
-                400.0,
+                Power::from_watts(400.0),
                 method,
                 |t| Fraction::saturating(0.3 + 0.2 * ((t.as_minutes() / 7.0).sin().abs())),
                 TimeSpan::from_hours(2.0),
@@ -218,7 +217,7 @@ mod tests {
         let v100 = DeviceSpec::V100.power_model();
         let _ = validate_estimator(
             &v100,
-            300.0,
+            Power::from_watts(300.0),
             EstimationMethod::HalfTdp,
             |_| Fraction::ZERO,
             TimeSpan::from_secs(10.0),

@@ -27,9 +27,11 @@
 //! assert!(busy > idle);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod constants;
 pub mod counters;
 pub mod device;
 pub mod estimation;

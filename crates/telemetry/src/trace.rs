@@ -73,9 +73,9 @@ impl PowerTrace {
     pub fn energy(&self) -> Energy {
         let mut total = Energy::ZERO;
         for w in self.samples.windows(2) {
-            let (t0, p0) = w[0];
-            let (t1, p1) = w[1];
-            total += (p0 + p1) * 0.5 * (t1 - t0);
+            if let [(t0, p0), (t1, p1)] = *w {
+                total += (p0 + p1) * 0.5 * (t1 - t0);
+            }
         }
         total
     }
@@ -132,16 +132,20 @@ impl PowerTrace {
     pub fn resample(&self, interval: TimeSpan) -> PowerTrace {
         assert!(interval.as_secs() > 0.0, "interval must be positive");
         let mut out = PowerTrace::new();
+        let (Some(&(start, _)), Some(&(end, _))) = (self.samples.first(), self.samples.last())
+        else {
+            return out;
+        };
         if self.samples.len() < 2 {
             return out;
         }
-        let start = self.samples[0].0;
-        let end = self.samples[self.samples.len() - 1].0;
         let mut t = start;
         while t < end {
+            // lint:allow(panic-discipline) t lies in [start, end] by loop bound
             out.push(t, self.power_at(t).expect("t within window"));
             t += interval;
         }
+        // lint:allow(panic-discipline) end is the last sample's timestamp
         out.push(end, self.power_at(end).expect("end within window"));
         out
     }
@@ -156,7 +160,7 @@ impl PowerTrace {
             .chain(other.samples.iter())
             .map(|&(t, _)| t)
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("trace times are finite"));
+        times.sort_unstable();
         times.dedup();
         let mut out = PowerTrace::new();
         for t in times {

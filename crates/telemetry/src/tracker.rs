@@ -147,6 +147,7 @@ impl CarbonTracker {
                 let span = self.state.lock().machine_time;
                 model
                     .amortize(span, *policy)
+                    // lint:allow(panic-discipline) machine_time only accumulates non-negative spans
                     .expect("recorded machine time is non-negative")
             }
             None => Co2e::ZERO,

@@ -1,0 +1,31 @@
+//! Named workload-model constants with provenance.
+//!
+//! The `cargo xtask lint` rule `magic-constant` bans bare literals in
+//! carbon-unit constructors, so every calibrated figure the workload models
+//! rely on lives here with a doc comment recording where it comes from.
+
+/// Operating power of a petabyte of HDD storage (drives + enclosures +
+/// fans), in watts — order-of-magnitude from datacenter storage TCO studies
+/// the paper's data-growth discussion (§II-B) leans on.
+pub const HDD_POWER_PER_PB_WATTS: f64 = 900.0;
+
+/// Operating power of a petabyte of NAND-flash SSD storage, in watts —
+/// flash idles far below spinning media.
+pub const SSD_POWER_PER_PB_WATTS: f64 = 350.0;
+
+/// Embodied carbon of a deployed petabyte of HDD, in tonnes CO₂e.
+pub const HDD_EMBODIED_PER_PB_TONNES: f64 = 3.0;
+
+/// Embodied carbon of a deployed petabyte of SSD, in tonnes CO₂e — NAND
+/// fabrication dominates, so flash embodied ≫ HDD per byte ("Chasing
+/// Carbon" [Gupta et al., 2021]).
+pub const SSD_EMBODIED_PER_PB_TONNES: f64 = 25.0;
+
+/// Per-prediction serving energy of the language-model service in the
+/// paper-shaped fleet, in joules — LM decoding is compute-heavy per query.
+pub const LM_ENERGY_PER_PREDICTION_J: f64 = 8.0;
+
+/// Per-prediction serving energies of the five recommendation services, in
+/// joules — RM inference is memory-bound and cheap per query (§II-C's
+/// trillions-of-predictions-per-day framing).
+pub const RM_ENERGY_PER_PREDICTION_J: [f64; 5] = [0.012, 0.014, 0.020, 0.018, 0.019];

@@ -29,8 +29,8 @@ impl StorageMedia {
     /// Operating power per petabyte stored (drives + enclosures + fans).
     pub fn power_per_pb(&self) -> Power {
         match self {
-            StorageMedia::Hdd => Power::from_watts(900.0),
-            StorageMedia::Ssd => Power::from_watts(350.0),
+            StorageMedia::Hdd => Power::from_watts(crate::constants::HDD_POWER_PER_PB_WATTS),
+            StorageMedia::Ssd => Power::from_watts(crate::constants::SSD_POWER_PER_PB_WATTS),
         }
     }
 
@@ -38,8 +38,8 @@ impl StorageMedia {
     pub fn embodied_per_pb(&self) -> Co2e {
         match self {
             // NAND fabrication dominates: flash embodied ≫ HDD per byte.
-            StorageMedia::Hdd => Co2e::from_tonnes(3.0),
-            StorageMedia::Ssd => Co2e::from_tonnes(25.0),
+            StorageMedia::Hdd => Co2e::from_tonnes(crate::constants::HDD_EMBODIED_PER_PB_TONNES),
+            StorageMedia::Ssd => Co2e::from_tonnes(crate::constants::SSD_EMBODIED_PER_PB_TONNES),
         }
     }
 }

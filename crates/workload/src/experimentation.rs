@@ -79,6 +79,7 @@ impl Campaign {
     /// burn up to the checkpoint. Returns the total GPU-days consumed.
     pub fn simulate_gpu_days<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let generator = JobGenerator::calibrated(JobClass::Research)
+            // lint:allow(panic-discipline) calibrated() only errs on invalid user input
             .expect("research calibration constants are valid");
         let mut total = 0.0;
         for _ in 0..self.total_workflows() {
@@ -109,6 +110,7 @@ impl Campaign {
 /// a campaign's GPU-days versus the one graduated production training run.
 pub fn exploration_to_training_ratio<R: Rng + ?Sized>(rng: &mut R, campaign: &Campaign) -> f64 {
     let production = JobGenerator::calibrated(JobClass::Production)
+        // lint:allow(panic-discipline) calibrated() only errs on invalid user input
         .expect("production calibration constants are valid");
     let exploration = campaign.simulate_gpu_days(rng);
     let training = production.sample(rng).gpu_days();

@@ -34,8 +34,9 @@ pub fn mlp_flops(layer_widths: &[u64], batch: u64) -> f64 {
         "an MLP needs at least input and output widths"
     );
     let macs: f64 = layer_widths
-        .windows(2)
-        .map(|w| w[0] as f64 * w[1] as f64)
+        .iter()
+        .zip(layer_widths.iter().skip(1))
+        .map(|(&fan_in, &fan_out)| fan_in as f64 * fan_out as f64)
         .sum();
     2.0 * macs * batch as f64
 }

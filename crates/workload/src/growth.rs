@@ -106,7 +106,7 @@ impl PublicationGrowth {
         // Geometric series sum: b · ((1+g)^(m+1) − 1) / g.
         let g = self.discipline.monthly_growth();
         let b = self.discipline.base_monthly();
-        if g == 0.0 {
+        if sustain_core::units::approx_eq(g, 0.0) {
             return b * (months as f64 + 1.0);
         }
         b * ((1.0 + g).powi(months as i32 + 1) - 1.0) / g

@@ -146,31 +146,36 @@ impl ServingFleet {
         let mut fleet = ServingFleet::new();
         // Per-prediction energies differ by model class: RM inference is
         // memory-bound and cheap per query; LM decoding is heavier.
-        fleet.add(InferenceService::new("LM", 5.0e9, Energy::from_joules(8.0)));
+        let [rm1, rm2, rm3, rm4, rm5] = crate::constants::RM_ENERGY_PER_PREDICTION_J;
+        fleet.add(InferenceService::new(
+            "LM",
+            5.0e9,
+            Energy::from_joules(crate::constants::LM_ENERGY_PER_PREDICTION_J),
+        ));
         fleet.add(InferenceService::new(
             "RM1",
             8.0e11,
-            Energy::from_joules(0.012),
+            Energy::from_joules(rm1),
         ));
         fleet.add(InferenceService::new(
             "RM2",
             1.1e12,
-            Energy::from_joules(0.014),
+            Energy::from_joules(rm2),
         ));
         fleet.add(InferenceService::new(
             "RM3",
             6.0e11,
-            Energy::from_joules(0.020),
+            Energy::from_joules(rm3),
         ));
         fleet.add(InferenceService::new(
             "RM4",
             7.5e11,
-            Energy::from_joules(0.018),
+            Energy::from_joules(rm4),
         ));
         fleet.add(InferenceService::new(
             "RM5",
             5.5e11,
-            Energy::from_joules(0.019),
+            Energy::from_joules(rm5),
         ));
         fleet
     }

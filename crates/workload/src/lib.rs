@@ -20,9 +20,11 @@
 //! * [`ssl`] — the supervised vs self-supervised training-effort trade-off
 //!   (Appendix C).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod constants;
 pub mod datagrowth;
 pub mod datapipeline;
 pub mod experimentation;

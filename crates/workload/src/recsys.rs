@@ -144,7 +144,13 @@ impl DlrmConfig {
 
     /// Dense (MLP) parameter count.
     pub fn dense_parameters(&self) -> u64 {
-        let count = |widths: &[u64]| -> u64 { widths.windows(2).map(|w| w[0] * w[1] + w[1]).sum() };
+        let count = |widths: &[u64]| -> u64 {
+            widths
+                .iter()
+                .zip(widths.iter().skip(1))
+                .map(|(&fan_in, &fan_out)| fan_in * fan_out + fan_out)
+                .sum()
+        };
         count(&self.bottom_mlp) + count(&self.top_mlp)
     }
 

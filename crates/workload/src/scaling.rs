@@ -112,6 +112,7 @@ impl RecsysScalingLaw {
             coef_model: 0.00683,
             exp_data: 0.25,
             exp_model: 0.25,
+            // lint:allow(magic-constant) unit-normalized base of the energy scaling law
             base_energy: Energy::from_kilowatt_hours(1.0),
             energy_exp_data: 0.4,
             energy_exp_model: 0.4,

@@ -1,0 +1,233 @@
+//! Workspace automation tasks (`cargo xtask <command>`).
+//!
+//! The flagship command is `lint`: a std-only static-analysis pass over the
+//! workspace's `.rs` files enforcing the carbon-accounting invariants that
+//! keep the paper-reproduction figures trustworthy — dimensional consistency
+//! (no raw-`f64` unit leaks), determinism (seed-reproducible simulations),
+//! panic discipline in library code, and named physical constants.
+//!
+//! Every figure in Wu et al. (MLSys 2022) is an accounting result: a chain
+//! of W → J → kWh → kgCO2e conversions. Ground-truthing studies of software
+//! carbon trackers found unit-conversion slips dominate tracker error, so
+//! this linter machine-checks the conventions the workspace relies on
+//! instead of trusting review to catch them.
+//!
+//! Rules (suppress any one occurrence with `// lint:allow(<rule>)` plus a
+//! one-line justification):
+//!
+//! | rule               | what it rejects                                             |
+//! |--------------------|-------------------------------------------------------------|
+//! | `unit-leak`        | pub `f64` params/fields/returns with unit-suffixed names    |
+//! | `float-eq`         | `==`/`!=` against float literals outside `units.rs`         |
+//! | `panic-discipline` | `unwrap`/`expect`/`panic!`/literal indexing in library src  |
+//! | `determinism`      | wall-clock/`thread_rng`/`HashMap` in simulation crates      |
+//! | `magic-constant`   | bare literals fed to carbon-unit constructors               |
+//! | `lint-header`      | crate roots missing `#![forbid(unsafe_code)]`               |
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod sanitize;
+
+mod rules;
+
+/// The six lint rules, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Raw `f64` in public API carrying a unit suffix.
+    UnitLeak,
+    /// Exact float equality comparison.
+    FloatEq,
+    /// Panicking constructs in library code.
+    PanicDiscipline,
+    /// Nondeterminism sources in simulation crates.
+    Determinism,
+    /// Bare physical-constant literals outside designated modules.
+    MagicConstant,
+    /// Missing `#![forbid(unsafe_code)]` in a crate root.
+    LintHeader,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 6] = [
+        Rule::UnitLeak,
+        Rule::FloatEq,
+        Rule::PanicDiscipline,
+        Rule::Determinism,
+        Rule::MagicConstant,
+        Rule::LintHeader,
+    ];
+
+    /// The kebab-case name used in diagnostics and `lint:allow(..)` markers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnitLeak => "unit-leak",
+            Rule::FloatEq => "float-eq",
+            Rule::PanicDiscipline => "panic-discipline",
+            Rule::Determinism => "determinism",
+            Rule::MagicConstant => "magic-constant",
+            Rule::LintHeader => "lint-header",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a file participates in the lint pass, derived from its path.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// `crates/<name>/…` member, if any (`None` for the root package).
+    pub crate_name: Option<String>,
+    /// Test-adjacent code: tests, benches, examples, figure binaries, and
+    /// the figure-rendering `bench` crate. Exempt from the library rules.
+    pub test_like: bool,
+    /// Library source (under a `src/`, not a binary or test).
+    pub lib_src: bool,
+    /// A crate root `lib.rs` subject to the `lint-header` rule.
+    pub is_crate_root: bool,
+    /// File stem (`units` for `units.rs`).
+    pub stem: String,
+    /// Excluded from scanning entirely (shims, the linter itself, target).
+    pub skip: bool,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative path (forward slashes).
+    pub fn classify(path: &str) -> FileClass {
+        let comps: Vec<&str> = path.split('/').collect();
+        let stem = comps
+            .last()
+            .unwrap_or(&"")
+            .trim_end_matches(".rs")
+            .to_string();
+        let crate_name = if comps.first() == Some(&"crates") && comps.len() > 2 {
+            comps.get(1).map(|s| s.to_string())
+        } else {
+            None
+        };
+        // shims/ vendor external APIs (criterion legitimately uses
+        // Instant::now); the linter's own sources mention every banned
+        // pattern by name.
+        let skip = comps.first() == Some(&"shims")
+            || comps.first() == Some(&"target")
+            || crate_name.as_deref() == Some("xtask");
+        let test_like = comps
+            .iter()
+            .any(|c| matches!(*c, "tests" | "benches" | "examples" | "bin" | "figs"))
+            || crate_name.as_deref() == Some("bench")
+            || stem.starts_with("fig");
+        let lib_src = !test_like && comps.contains(&"src");
+        let is_crate_root = stem == "lib"
+            && (path == "src/lib.rs"
+                || (comps.len() == 4
+                    && comps[0] == "crates"
+                    && comps[2] == "src"
+                    && comps[3] == "lib.rs"));
+        FileClass {
+            path: path.to_string(),
+            crate_name,
+            test_like,
+            lib_src,
+            is_crate_root,
+            stem,
+            skip,
+        }
+    }
+}
+
+/// Lints one file's source text. `path` must be workspace-relative with
+/// forward slashes; it selects which rules apply (see [`FileClass`]).
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let class = FileClass::classify(path);
+    if class.skip {
+        return Vec::new();
+    }
+    let lines = sanitize::split_lines(source);
+    rules::scan(&class, &lines)
+}
+
+/// Recursively collects the workspace `.rs` files eligible for linting,
+/// sorted for deterministic output.
+pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "tests", "benches", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                walk(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every eligible workspace file under `root`. Returns the number of
+/// files scanned and all diagnostics, sorted by file then line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
+    let mut diags = Vec::new();
+    let mut scanned = 0usize;
+    for path in collect_workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        if FileClass::classify(&rel).skip {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path)?;
+        scanned += 1;
+        diags.extend(lint_source(&rel, &source));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok((scanned, diags))
+}

@@ -1,0 +1,246 @@
+//! Line-oriented source sanitizer.
+//!
+//! Splits each source line into *code* text and *comment* text so the lint
+//! rules never match patterns inside string literals, char literals, or
+//! comments. String and char literal **contents** are blanked (delimiters
+//! kept) and comment text is extracted separately — the rules scan the code
+//! channel, while `// lint:allow(...)` markers are read from the comment
+//! channel.
+//!
+//! The scanner is a persistent state machine across lines, so multi-line
+//! block comments (including Rust's nested `/* /* */ */`), multi-line string
+//! literals, and raw strings (`r"…"`, `r#"…"#`, `br"…"`) are all handled.
+
+/// One source line split into its code and comment channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineView {
+    /// Code text with string/char contents blanked out (delimiters kept).
+    pub code: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+}
+
+impl LineView {
+    /// True when the line carries no code at all (blank or comment-only).
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// Lexical mode carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside `/* … */`; Rust block comments nest, so track the depth.
+    BlockComment(u32),
+    /// Inside a normal `"…"` string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+/// Splits `source` into per-line [`LineView`]s.
+pub fn split_lines(source: &str) -> Vec<LineView> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in source.lines() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            match mode {
+                Mode::Code => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        comment.extend(&chars[i + 2..]);
+                        i = chars.len();
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(1);
+                        code.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        mode = Mode::Str;
+                        code.push('"');
+                        i += 1;
+                    } else if let Some(hashes) = raw_string_open(&chars, i) {
+                        mode = Mode::RawStr(hashes.count);
+                        code.push('"');
+                        i = hashes.body_start;
+                    } else if c == '\'' {
+                        i = consume_char_or_lifetime(&chars, i, &mut code);
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::BlockComment(depth) => {
+                    let next = chars.get(i + 1).copied();
+                    if chars[i] == '*' && next == Some('/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else if chars[i] == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if chars[i] == '"' && closed_by_hashes(&chars, i + 1, hashes) {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(LineView { code, comment });
+    }
+    out
+}
+
+struct RawOpen {
+    count: u32,
+    body_start: usize,
+}
+
+/// Detects `r"`, `r#"`, `br"` … at position `i`; returns the hash count and
+/// the index just past the opening quote.
+fn raw_string_open(chars: &[char], i: usize) -> Option<RawOpen> {
+    // Must not be the tail of a longer identifier (`for"` is not valid Rust,
+    // but be conservative anyway).
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut count = 0u32;
+    while chars.get(j) == Some(&'#') {
+        count += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(RawOpen {
+            count,
+            body_start: j + 1,
+        })
+    } else {
+        None
+    }
+}
+
+fn closed_by_hashes(chars: &[char], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Handles a `'` in code position: either a char literal (contents blanked)
+/// or a lifetime (kept verbatim). Returns the next index to scan.
+fn consume_char_or_lifetime(chars: &[char], i: usize, code: &mut String) -> usize {
+    let next = chars.get(i + 1).copied();
+    if next == Some('\\') {
+        // Escaped char literal: skip to the closing quote.
+        code.push('\'');
+        let mut j = i + 2;
+        if j < chars.len() {
+            j += 1; // the escaped character itself
+        }
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1;
+        }
+        if j < chars.len() {
+            code.push('\'');
+            j += 1;
+        }
+        j
+    } else if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+        // Plain char literal like 'x'.
+        code.push('\'');
+        code.push(' ');
+        code.push('\'');
+        i + 3
+    } else {
+        // Lifetime such as 'a — keep the tick, continue scanning normally.
+        code.push('\'');
+        i + 1
+    }
+}
+
+/// True for characters that can continue a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        split_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comment_is_extracted() {
+        let lines = split_lines("let x = 1; // lint:allow(float-eq) tolerance checked above");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert!(lines[0].comment.contains("lint:allow(float-eq)"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = codes(r#"let s = "x.unwrap() == 0.0";"#);
+        assert_eq!(lines[0], "let s = \"\";");
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let lines = codes("a /* one /* two */\nstill */ b");
+        assert_eq!(lines[0], "a  ");
+        assert_eq!(lines[1], " b");
+    }
+
+    #[test]
+    fn raw_strings_close_on_matching_hashes() {
+        let lines = codes("let s = r#\"has \"quote\" inside\"#; tail()");
+        assert_eq!(lines[0], "let s = \"\"; tail()");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = codes("fn f<'a>(c: char) { if c == '\"' {} }");
+        assert_eq!(lines[0], "fn f<'a>(c: char) { if c == ' ' {} }");
+    }
+
+    #[test]
+    fn multiline_string_literal() {
+        let lines = codes("let s = \"first\nsecond == 0.0\nthird\"; done");
+        assert_eq!(lines[0], "let s = \"");
+        assert_eq!(lines[1], "");
+        assert_eq!(lines[2], "\"; done");
+    }
+}

@@ -1,0 +1,250 @@
+//! Fixture tests for every lint rule: one violating snippet, one clean
+//! snippet, and one snippet silenced with `lint:allow(<rule>)` per rule.
+
+use xtask::{lint_source, Rule};
+
+/// Path that classifies as library source inside a simulation crate, so all
+/// six rules (including determinism) are in force.
+const SIM_LIB: &str = "crates/fleet/src/sim.rs";
+/// Library source outside the simulation crates (determinism not enforced).
+const CORE_LIB: &str = "crates/core/src/embodied.rs";
+
+fn rules_hit(path: &str, source: &str) -> Vec<Rule> {
+    lint_source(path, source)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+fn assert_clean(path: &str, source: &str) {
+    let diags = lint_source(path, source);
+    assert!(diags.is_empty(), "expected clean, got: {diags:?}");
+}
+
+// ---------------------------------------------------------------- unit-leak
+
+#[test]
+fn unit_leak_flags_raw_f64_with_unit_suffix() {
+    let src = "pub fn total_joules(x: f64) -> f64 { x }\n";
+    let hits = rules_hit(CORE_LIB, src);
+    assert!(hits.contains(&Rule::UnitLeak), "got {hits:?}");
+}
+
+#[test]
+fn unit_leak_flags_pub_struct_field() {
+    let src = "pub struct Report {\n    pub embodied_kg: f64,\n}\n";
+    let hits = rules_hit(CORE_LIB, src);
+    assert!(hits.contains(&Rule::UnitLeak), "got {hits:?}");
+}
+
+#[test]
+fn unit_leak_clean_on_newtype_api() {
+    assert_clean(
+        CORE_LIB,
+        "pub fn total(x: Energy) -> Energy { x }\npub fn speed(p: Power) -> Power { p }\n",
+    );
+}
+
+#[test]
+fn unit_leak_exempts_conversion_boundary() {
+    // `from_*` / `as_*` functions are the newtype boundary itself.
+    assert_clean(
+        CORE_LIB,
+        "impl Energy {\n    pub fn as_joules(self) -> f64 { self.0 }\n}\n",
+    );
+}
+
+#[test]
+fn unit_leak_allow_silences() {
+    let src = "// lint:allow(unit-leak) FFI boundary keeps raw joules\n\
+               pub fn total_joules(x: f64) -> f64 { x }\n";
+    assert_clean(CORE_LIB, src);
+}
+
+// ----------------------------------------------------------------- float-eq
+
+#[test]
+fn float_eq_flags_exact_comparison() {
+    let src = "fn f(x: f64) -> bool { x == 0.5 }\n";
+    let hits = rules_hit(CORE_LIB, src);
+    assert!(hits.contains(&Rule::FloatEq), "got {hits:?}");
+}
+
+#[test]
+fn float_eq_clean_on_integer_and_ordering() {
+    assert_clean(
+        CORE_LIB,
+        "fn f(x: u64, y: f64) -> bool { x == 3 && y <= 0.5 && y >= 0.1 }\n",
+    );
+}
+
+#[test]
+fn float_eq_allow_silences() {
+    let src =
+        "fn f(x: f64) -> bool {\n    // lint:allow(float-eq) sentinel compare\n    x == 0.0\n}\n";
+    assert_clean(CORE_LIB, src);
+}
+
+// --------------------------------------------------------- panic-discipline
+
+#[test]
+fn panic_discipline_flags_unwrap_expect_panic_and_index() {
+    let src = "fn f(v: &[f64]) -> f64 {\n\
+               \x20   let a = v.first().unwrap();\n\
+               \x20   let b = v.last().expect(\"non-empty\");\n\
+               \x20   if v.is_empty() { panic!(\"empty\"); }\n\
+               \x20   a + b + v[0]\n\
+               }\n";
+    let hits = rules_hit(CORE_LIB, src);
+    let n = hits.iter().filter(|r| **r == Rule::PanicDiscipline).count();
+    assert_eq!(n, 4, "got {hits:?}");
+}
+
+#[test]
+fn panic_discipline_clean_in_tests_and_benches() {
+    let src = "fn f(v: &[f64]) -> f64 { v.first().unwrap() + v[0] }\n";
+    assert_clean("crates/core/tests/embodied.rs", src);
+    assert_clean("crates/bench/src/figs/fig1.rs", src);
+}
+
+#[test]
+fn panic_discipline_clean_in_cfg_test_module() {
+    let src = "fn safe() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   #[test]\n\
+               \x20   fn t() { Some(1).unwrap(); }\n\
+               }\n";
+    assert_clean(CORE_LIB, src);
+}
+
+#[test]
+fn panic_discipline_allow_silences_next_code_line() {
+    let src = "fn f(v: &[f64]) -> f64 {\n\
+               \x20   // lint:allow(panic-discipline) guarded by the caller\n\
+               \x20   v.first().expect(\"non-empty\") + 1.0\n\
+               }\n";
+    assert_clean(CORE_LIB, src);
+}
+
+// -------------------------------------------------------------- determinism
+
+#[test]
+fn determinism_flags_wall_clock_and_thread_rng() {
+    let src = "fn f() {\n\
+               \x20   let _t = std::time::Instant::now();\n\
+               \x20   let _r = rand::thread_rng();\n\
+               }\n";
+    let hits = rules_hit(SIM_LIB, src);
+    let n = hits.iter().filter(|r| **r == Rule::Determinism).count();
+    assert_eq!(n, 2, "got {hits:?}");
+}
+
+#[test]
+fn determinism_flags_hashmap_iteration_order() {
+    let src = "use std::collections::HashMap;\n";
+    let hits = rules_hit(SIM_LIB, src);
+    assert!(hits.contains(&Rule::Determinism), "got {hits:?}");
+}
+
+#[test]
+fn determinism_not_enforced_outside_sim_crates() {
+    assert_clean(CORE_LIB, "use std::collections::HashMap;\n");
+}
+
+#[test]
+fn determinism_allow_silences() {
+    let src = "// lint:allow(determinism) diagnostics only, not part of results\n\
+               use std::collections::HashMap;\n";
+    assert_clean(SIM_LIB, src);
+}
+
+// ----------------------------------------------------------- magic-constant
+
+#[test]
+fn magic_constant_flags_bare_literal_in_unit_ctor() {
+    let src = "fn f() -> Energy { Energy::from_kilowatt_hours(201.0) }\n";
+    let hits = rules_hit(CORE_LIB, src);
+    assert!(hits.contains(&Rule::MagicConstant), "got {hits:?}");
+}
+
+#[test]
+fn magic_constant_clean_on_named_constant_and_zero() {
+    assert_clean(
+        CORE_LIB,
+        "fn f() -> Energy { Energy::from_kilowatt_hours(crate::constants::RUN_KWH) }\n\
+         fn g() -> Energy { Energy::from_joules(0.0) }\n",
+    );
+}
+
+#[test]
+fn magic_constant_exempt_in_constants_module() {
+    let src = "pub fn preset() -> Power { Power::from_watts(7.5) }\n";
+    assert_clean("crates/edge/src/constants.rs", src);
+}
+
+#[test]
+fn magic_constant_allow_silences() {
+    let src = "fn f() -> Energy {\n\
+               \x20   // lint:allow(magic-constant) 1 kWh probe, not a constant\n\
+               \x20   Energy::from_kilowatt_hours(1.0)\n\
+               }\n";
+    assert_clean(CORE_LIB, src);
+}
+
+// -------------------------------------------------------------- lint-header
+
+#[test]
+fn lint_header_flags_crate_root_without_forbid() {
+    let src = "//! A crate.\n#![deny(missing_docs)]\npub fn f() {}\n";
+    let hits = rules_hit("crates/core/src/lib.rs", src);
+    assert!(hits.contains(&Rule::LintHeader), "got {hits:?}");
+}
+
+#[test]
+fn lint_header_clean_with_forbid() {
+    assert_clean(
+        "crates/core/src/lib.rs",
+        "//! A crate.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n",
+    );
+}
+
+#[test]
+fn lint_header_only_applies_to_crate_roots() {
+    assert_clean(CORE_LIB, "pub fn f() {}\n");
+}
+
+// ------------------------------------------------------------ allow plumbing
+
+#[test]
+fn allow_only_covers_adjacent_code_line() {
+    // The allow covers the first expect but NOT the one two code lines down.
+    let src = "fn f(v: &[f64]) -> f64 {\n\
+               \x20   // lint:allow(panic-discipline) guarded\n\
+               \x20   let a = v.first().expect(\"a\");\n\
+               \x20   let b = v.last().expect(\"b\");\n\
+               \x20   a + b\n\
+               }\n";
+    let diags = lint_source(CORE_LIB, src);
+    assert_eq!(diags.len(), 1, "got {diags:?}");
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn allow_of_other_rule_does_not_silence() {
+    let src = "// lint:allow(float-eq) wrong rule\n\
+               pub fn total_joules(x: f64) -> f64 { x }\n";
+    let hits = rules_hit(CORE_LIB, src);
+    assert!(hits.contains(&Rule::UnitLeak), "got {hits:?}");
+}
+
+#[test]
+fn diagnostics_carry_file_line_and_render() {
+    let diags = lint_source(CORE_LIB, "fn f(x: f64) -> bool { x == 0.5 }\n");
+    assert_eq!(diags.len(), 1);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/core/src/embodied.rs:1: [float-eq]"),
+        "got {rendered}"
+    );
+}

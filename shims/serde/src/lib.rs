@@ -1,0 +1,468 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no crates.io access, so serialization is
+//! vendored as a small value-tree framework with the same spelling as real
+//! serde at every call site the workspace has: `#[derive(Serialize,
+//! Deserialize)]`, `serde::Serialize` / `serde::de::DeserializeOwned` bounds,
+//! and `serde_json::{to_string, from_str}` (provided by the sibling
+//! `serde_json` shim over [`Value`]).
+//!
+//! The JSON encoding mirrors upstream `serde_json` conventions — named
+//! structs as objects, newtype structs transparent, unit enum variants as
+//! strings, data-carrying variants as single-key objects, non-finite floats
+//! as `null` — so persisted reports stay readable by standard tooling.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed/parseable JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integral JSON number, kept exact.
+    Int(i128),
+    /// Non-integral (or non-finite) JSON number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as an ordered key/value list (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, accepting both number representations.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact integer.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i128),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Marker mirroring `serde::de::DeserializeOwned` (every shim type owns its data).
+pub trait DeserializeOwned: Deserialize {}
+
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Mirrors the `serde::de` module path used in trait bounds.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors the `serde::ser` module path.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (referenced by serde_derive's generated code)
+// ---------------------------------------------------------------------------
+
+/// Decodes the field `name` of the object `v`; a missing key decodes as
+/// `Null` so `Option` fields default to `None`.
+///
+/// # Errors
+///
+/// Returns [`Error`] when `v` is not an object or the field fails to decode.
+pub fn decode_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(_) => T::from_value(v.get(name).unwrap_or(&Value::Null))
+            .map_err(|e| Error(format!("field `{name}`: {e}"))),
+        other => Err(Error(format!(
+            "expected object with field `{name}`, found {other:?}"
+        ))),
+    }
+}
+
+/// Asserts that `v` is an array of exactly `len` items and returns it.
+///
+/// # Errors
+///
+/// Returns [`Error`] on a non-array or a length mismatch.
+pub fn expect_array<'v>(v: &'v Value, what: &str, len: usize) -> Result<&'v [Value], Error> {
+    match v {
+        Value::Array(items) if items.len() == len => Ok(items),
+        other => Err(Error(format!(
+            "expected {len}-element array for {what}, found {other:?}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and std-type impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<$ty, Error> {
+                let i = v
+                    .as_i128()
+                    .ok_or_else(|| Error(format!("expected integer, found {v:?}")))?;
+                <$ty>::try_from(i)
+                    .map_err(|_| Error(format!("integer {i} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<$ty, Error> {
+                v.as_f64()
+                    .map(|f| f as $ty)
+                    .ok_or_else(|| Error(format!("expected number, found {v:?}")))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length-checked char"))
+            }
+            other => Err(Error(format!(
+                "expected single-char string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error(format!("expected {N}-element array, found {len} elements")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = expect_array(v, "tuple", LEN)?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Renders a serialized map key, accepting string-like and integral keys
+/// (mirroring `serde_json`'s stringified map keys).
+fn key_to_string(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Int(i) => Ok(i.to_string()),
+        other => Err(Error(format!("unsupported map key: {other:?}"))),
+    }
+}
+
+/// Rebuilds a map key from its stringified form.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(i) = s.parse::<i128>() {
+        return K::from_value(&Value::Int(i));
+    }
+    Err(Error(format!("cannot rebuild map key from `{s}`")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.to_value())
+                        .expect("BTreeMap keys must serialize to strings or integers");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.to_value())
+                    .expect("HashMap keys must serialize to strings or integers");
+                (key, v.to_value())
+            })
+            .collect();
+        // Deterministic output regardless of hasher state.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<HashMap<K, V, S>, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(1.5f64).to_value(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn missing_field_decodes_option_as_none() {
+        let obj = Value::Object(vec![]);
+        let got: Option<f64> = decode_field(&obj, "absent").unwrap();
+        assert_eq!(got, None);
+        assert!(decode_field::<f64>(&obj, "absent").is_err());
+    }
+
+    #[test]
+    fn array_and_tuple_round_trip() {
+        let v = vec![(1u64, 2.5f64), (3, 4.5)];
+        let tree = v.to_value();
+        let back: Vec<(u64, f64)> = Vec::from_value(&tree).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn fixed_array_round_trip() {
+        let a = [1.0f64, 2.0, 3.0];
+        let back: [f64; 3] = Deserialize::from_value(&a.to_value()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn int_range_checked() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert_eq!(u8::from_value(&Value::Int(255)).unwrap(), 255);
+    }
+}

@@ -1,0 +1,548 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! The build environment has no crates.io access, so this proc-macro is
+//! written against `proc_macro` alone — no `syn`, no `quote`. It hand-parses
+//! the derive input (structs with named/tuple/unit bodies, enums with unit,
+//! tuple, and struct variants, simple generics) and emits implementations of
+//! the shim's value-tree traits:
+//!
+//! * `serde::Serialize::to_value(&self) -> serde::Value`
+//! * `serde::Deserialize::from_value(&serde::Value) -> Result<Self, serde::Error>`
+//!
+//! Encoding matches upstream `serde_json` conventions: named structs become
+//! objects, newtype structs are transparent, tuple structs become arrays,
+//! unit enum variants become strings, and data-carrying variants become
+//! single-key objects.
+
+#![deny(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field list.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Parsed derive input.
+struct Input {
+    name: String,
+    /// Generic parameter declaration (e.g. `T, const N: usize`), bounds kept.
+    generics_decl: Vec<GenericParam>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct GenericParam {
+    /// Parameter name (`T`, `N`, `'a`).
+    name: String,
+    /// Verbatim declaration tokens (`T: Copy`, `const N: usize`, `'a`).
+    decl: String,
+    /// True for type parameters (the only kind that receives trait bounds).
+    is_type: bool,
+}
+
+/// Derives the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let generics_decl = parse_generics(&tokens, &mut i);
+
+    // Skip a `where` clause if present (up to the body group or `;`).
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => i += 1,
+            }
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(&tokens, i)),
+        "enum" => Kind::Enum(parse_enum_body(&tokens, i)),
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+
+    Input {
+        name,
+        generics_decl,
+        kind,
+    }
+}
+
+/// Advances past outer attributes (`#[...]`, including doc comments) and an
+/// optional visibility qualifier (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<...>` generics if present, returning the parameter list.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<GenericParam> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(tokens[*i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    if !current.is_empty() {
+                        params.push(make_param(&current));
+                    }
+                    *i += 1;
+                    return params;
+                }
+                current.push(tokens[*i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if !current.is_empty() {
+                    params.push(make_param(&current));
+                }
+                current.clear();
+            }
+            t => current.push(t.clone()),
+        }
+        *i += 1;
+    }
+    panic!("unbalanced generics in derive input");
+}
+
+fn make_param(tokens: &[TokenTree]) -> GenericParam {
+    // Strip a trailing default (`= ...`) from the declaration.
+    let mut decl_tokens: &[TokenTree] = tokens;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            if p.as_char() == '=' {
+                decl_tokens = &tokens[..idx];
+                break;
+            }
+        }
+    }
+    let decl = render(decl_tokens);
+    match &decl_tokens[0] {
+        TokenTree::Punct(p) if p.as_char() == '\'' => GenericParam {
+            name: render(&decl_tokens[..2.min(decl_tokens.len())]),
+            decl,
+            is_type: false,
+        },
+        TokenTree::Ident(id) if id.to_string() == "const" => {
+            let name = match &decl_tokens[1] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected const parameter name, found {other}"),
+            };
+            GenericParam {
+                name,
+                decl,
+                is_type: false,
+            }
+        }
+        TokenTree::Ident(id) => GenericParam {
+            name: id.to_string(),
+            decl,
+            is_type: true,
+        },
+        other => panic!("unsupported generic parameter starting with {other}"),
+    }
+}
+
+fn parse_struct_body(tokens: &[TokenTree], i: usize) -> Fields {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        None => Fields::Unit,
+        other => panic!("unsupported struct body: {other:?}"),
+    }
+}
+
+/// Field names of a `{ ... }` body, skipping attributes, visibility, and types.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Expect `:` then the type; consume until a top-level `,`.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of top-level comma-separated fields in a `( ... )` body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_enum_body(tokens: &[TokenTree], i: usize) -> Vec<(String, Fields)> {
+    let group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("expected enum body, found {other:?}"),
+    };
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn render(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<decl> Trait for Name<args>` header pieces with `bound` added to every
+/// type parameter.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics_decl.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decl = input
+        .generics_decl
+        .iter()
+        .map(|p| {
+            if p.is_type {
+                if p.decl.contains(':') {
+                    format!("{} + {bound}", p.decl)
+                } else {
+                    format!("{}: {bound}", p.decl)
+                }
+            } else {
+                p.decl.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let args = input
+        .generics_decl
+        .iter()
+        .map(|p| p.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ");
+    (format!("<{decl}>"), format!("<{args}>"))
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (decl, args) = impl_header(input, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let pushes = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push((String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!(
+                "{{ let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n            \
+                 {pushes}\n            ::serde::Value::Object(__obj) }}"
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("Self::{v} => ::serde::Value::Str(String::from(\"{v}\")),")
+                    }
+                    Fields::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|k| format!("__f{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Value::Array(vec![{items}])")
+                        };
+                        format!(
+                            "Self::{v}({binds}) => ::serde::Value::Object(vec![\
+                             (String::from(\"{v}\"), {payload})]),"
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "Self::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (String::from(\"{v}\"), \
+                             ::serde::Value::Object(vec![{items}]))]),"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::Serialize for {name}{args} {{\n    \
+         fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (decl, args) = impl_header(input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => format!("Ok({name})"),
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{ let __arr = ::serde::expect_array(__v, \"{name}\", {n})?;\n        \
+                 Ok({name}({items})) }}"
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::decode_field(__v, \"{f}\")?"))
+                .collect::<Vec<_>>()
+                .join(",\n            ");
+            format!("Ok({name} {{\n            {items}\n        }})")
+        }
+        Kind::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => return Ok(Self::{v}),"))
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let data_arms = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!("Self::{v}(::serde::Deserialize::from_value(__payload)?)")
+                        } else {
+                            let items = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{{ let __arr = ::serde::expect_array(\
+                                 __payload, \"{name}::{v}\", {n})?; Self::{v}({items}) }}"
+                            )
+                        };
+                        Some(format!("\"{v}\" => return Ok({expr}),"))
+                    }
+                    Fields::Named(fields) => {
+                        let items = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::decode_field(__payload, \"{f}\")?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        Some(format!("\"{v}\" => return Ok(Self::{v} {{ {items} }}),"))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            format!(
+                "{{\n        if let ::serde::Value::Str(__s) = __v {{\n            \
+                 match __s.as_str() {{\n                {unit_arms}\n                \
+                 _ => {{}}\n            }}\n        }}\n        \
+                 if let ::serde::Value::Object(__entries) = __v {{\n            \
+                 if __entries.len() == 1 {{\n                \
+                 let (__tag, __payload) = &__entries[0];\n                \
+                 match __tag.as_str() {{\n                {data_arms}\n                \
+                 _ => {{}}\n                }}\n            }}\n        }}\n        \
+                 Err(::serde::Error::custom(format!(\
+                 \"invalid {name} variant: {{:?}}\", __v)))\n    }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{decl} ::serde::Deserialize for {name}{args} {{\n    \
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{\n        {body}\n    }}\n}}"
+    )
+}

@@ -30,6 +30,10 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
 pub use sustain_core as core;
 pub use sustain_edge as edge;
 pub use sustain_fleet as fleet;

@@ -250,7 +250,7 @@ fn estimator_error_propagates_to_carbon_error() {
     let device = DeviceSpec::V100.power_model();
     let err = validate_estimator(
         &device,
-        300.0,
+        Power::from_watts(300.0),
         EstimationMethod::TdpTimesUtilization,
         |_| Fraction::saturating(0.3),
         TimeSpan::from_days(1.0),
