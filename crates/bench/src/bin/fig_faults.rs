@@ -1,0 +1,8 @@
+//! Prints the fault-injection robustness tables: telemetry fault-rate
+//! sweep, fleet chaos harness, and renewable-feed gap accounting.
+
+fn main() {
+    for table in sustain_bench::figs::faults::all() {
+        println!("{table}");
+    }
+}

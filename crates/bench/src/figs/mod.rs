@@ -5,6 +5,7 @@
 
 pub mod extensions;
 pub mod extras;
+pub mod faults;
 pub mod fig01_growth;
 pub mod fig02_trends;
 pub mod fig03_phases;
@@ -21,6 +22,10 @@ pub mod fig12_pareto;
 use crate::table::Table;
 
 /// Generates every figure's table, in paper order.
+///
+/// The robustness tables in [`faults`] are deliberately excluded: they are
+/// printed by the separate `fig_faults` binary so the paper-figure outputs
+/// stay byte-identical.
 pub fn all() -> Vec<Table> {
     let mut tables = vec![
         fig01_growth::generate(),

@@ -12,6 +12,7 @@ use std::ops::{Add, AddAssign, Mul};
 
 use crate::intensity::AccountingBasis;
 use crate::lifecycle::{Breakdown, MlPhase};
+use crate::quality::DataQualityReport;
 use crate::units::{Co2e, Energy, Fraction};
 
 /// Operational + embodied carbon of a workload, system, or fleet.
@@ -154,6 +155,10 @@ pub struct FootprintReport {
     pub footprint: CarbonFootprint,
     /// Operational carbon split across ML phases.
     pub by_phase: Breakdown<Co2e>,
+    /// Telemetry data quality behind `energy` (`None` = assumed perfect, the
+    /// historical default; pre-existing report JSON without the key still
+    /// deserializes, as `None`).
+    pub quality: Option<DataQualityReport>,
 }
 
 impl FootprintReport {
@@ -170,7 +175,14 @@ impl FootprintReport {
             energy,
             footprint,
             by_phase: Breakdown::zero(),
+            quality: None,
         }
+    }
+
+    /// Attaches a telemetry data-quality report (builder style).
+    pub fn with_quality(mut self, quality: DataQualityReport) -> FootprintReport {
+        self.quality = Some(quality);
+        self
     }
 
     /// Records operational carbon for a phase and adds it to the ledger.
@@ -197,7 +209,13 @@ impl fmt::Display for FootprintReport {
         writeln!(f, "  energy:      {}", self.energy)?;
         writeln!(f, "  operational: {}", self.footprint.operational())?;
         writeln!(f, "  embodied:    {}", self.footprint.embodied())?;
-        write!(f, "  total:       {}", self.footprint.total())
+        match &self.quality {
+            Some(q) => {
+                writeln!(f, "  total:       {}", self.footprint.total())?;
+                write!(f, "  quality:     {q}")
+            }
+            None => write!(f, "  total:       {}", self.footprint.total()),
+        }
     }
 }
 
@@ -270,6 +288,48 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: FootprintReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn quality_free_reports_stay_back_compatible() {
+        // Pre-existing report JSON (no `quality` key) still parses, as None,
+        // and a quality-free report's Display output is unchanged.
+        let report = FootprintReport::new(
+            "LM",
+            AccountingBasis::LocationBased,
+            Energy::from_megawatt_hours(1.0),
+            CarbonFootprint::ZERO,
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        let without_key = json.replace(",\"quality\":null", "");
+        assert!(!without_key.contains("quality"), "{without_key}");
+        let back: FootprintReport = serde_json::from_str(&without_key).unwrap();
+        assert_eq!(back.quality, None);
+        assert!(!report.to_string().contains("quality"));
+    }
+
+    #[test]
+    fn attached_quality_round_trips_and_shows_in_display() {
+        use crate::quality::{DataQualityReport, FaultKind};
+        let mut q = DataQualityReport {
+            expected_samples: 10,
+            observed_samples: 8,
+            imputed_energy: Energy::from_kilowatt_hours(0.5),
+            ..DataQualityReport::default()
+        };
+        q.faults.record(FaultKind::Dropout);
+        let report = FootprintReport::new(
+            "LM",
+            AccountingBasis::LocationBased,
+            Energy::from_megawatt_hours(1.0),
+            CarbonFootprint::ZERO,
+        )
+        .with_quality(q);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FootprintReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(report.to_string().contains("quality"));
+        assert!(back.quality.unwrap().coverage().value() < 1.0);
     }
 
     #[test]

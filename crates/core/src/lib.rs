@@ -19,6 +19,8 @@
 //! * [`lifecycle`] — the ML development phases (Data, Experimentation, Training,
 //!   Inference) and hardware life-cycle phases the paper's Figure 3 is built on.
 //! * [`footprint`] — combined operational + embodied ledgers and serializable reports.
+//! * [`quality`] — telemetry data-quality accounting: measured vs imputed energy,
+//!   sample coverage, and per-class fault tallies behind every report.
 //! * [`scopes`] — GHG-protocol Scope 1/2/3 ledger.
 //! * [`equivalence`] — EPA-style equivalences (miles driven, homes powered, …).
 //! * [`metrics`] — sustainability metrics and efficiency-aware leaderboards (§V-A).
@@ -58,6 +60,7 @@ pub mod metrics;
 pub mod modelcard;
 pub mod operational;
 pub mod pue;
+pub mod quality;
 pub mod scopes;
 pub mod stats;
 pub mod units;

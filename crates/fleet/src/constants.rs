@@ -7,3 +7,34 @@
 /// in kg CO₂e: the re-run energy plus validation sweeps it triggers (§III's
 /// reliability-vs-lifetime trade-off, order-of-magnitude assumption).
 pub const SDC_EVENT_COST_KG: f64 = 200.0;
+
+// ---------------------------------------------------------------------------
+// Chaos-harness defaults (crate::chaos)
+// ---------------------------------------------------------------------------
+
+/// Host crash/restart rate per server-day for large training fleets: the
+/// OPT-175B logbook reports on the order of 100 hardware-triggered restarts
+/// over ~2 months across 124 8-GPU hosts — order 10⁻² per server-day.
+pub const CRASH_RATE_PER_SERVER_DAY: f64 = 0.01;
+
+/// Default checkpoint interval for the chaos preset, in hours — the cadence
+/// large-model training runs (e.g. OPT-175B) checkpointed at.
+pub const CHECKPOINT_INTERVAL_HOURS: f64 = 6.0;
+
+/// Default runtime overhead of taking checkpoints, as a fraction of job time
+/// (asynchronous checkpointing keeps this at the percent level).
+pub const CHECKPOINT_OVERHEAD: f64 = 0.02;
+
+/// Fraction of a job's completed work re-run after a silent-data-corruption
+/// event is caught (detection lands mid-way through the corrupted span on
+/// average — "cores that don't count" mitigation practice).
+pub const SDC_RERUN_FRACTION: f64 = 0.5;
+
+/// Fleet age at which the wear-out SDC hazard is evaluated in the chaos
+/// preset, in years: the tail end of the 3–5 y fleet refresh norm, where the
+/// paper's life-extension argument bites.
+pub const CHAOS_FLEET_AGE_YEARS: f64 = 4.0;
+
+/// Per-hour probability that the renewable/grid-intensity feed has a gap
+/// (hourly market/REC data feeds run at percent-level incompleteness).
+pub const INTENSITY_GAP_RATE: f64 = 0.02;

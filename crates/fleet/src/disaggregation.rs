@@ -117,15 +117,30 @@ impl CheckpointPolicy {
     /// failures.
     ///
     /// Without checkpoints, each failure restarts from scratch (expected half
-    /// the job lost); with checkpoints, half an interval.
+    /// the job lost); with checkpoints, half an interval. A checkpoint
+    /// interval longer than the job cannot lose *more* than a from-scratch
+    /// restart, so the per-failure loss is capped at half the job — in the
+    /// failure-dominated regime checkpointed compute never exceeds the
+    /// baseline by more than the checkpointing overhead itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` is not positive or `failures` is negative.
     pub fn expected_compute(&self, job: TimeSpan, failures: f64) -> f64 {
-        let lost_per_failure = 0.5 * self.interval.as_secs() / job.as_secs();
+        assert!(job.as_secs() > 0.0, "job length must be positive");
+        assert!(failures >= 0.0, "failure count must be non-negative");
+        let lost_per_failure = (0.5 * self.interval.as_secs() / job.as_secs()).min(0.5);
         1.0 + self.overhead.value() + failures * lost_per_failure
     }
 
     /// The no-checkpoint baseline's expected compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failures` is negative.
     pub fn baseline_expected_compute(job: TimeSpan, failures: f64) -> f64 {
         let _ = job;
+        assert!(failures >= 0.0, "failure count must be non-negative");
         1.0 + failures * 0.5
     }
 }
@@ -202,5 +217,68 @@ mod tests {
         let with = aggressive.expected_compute(job, 0.0);
         let without = CheckpointPolicy::baseline_expected_compute(job, 0.0);
         assert!(with > without, "overhead must show when nothing fails");
+    }
+
+    #[test]
+    fn zero_failures_is_just_overhead() {
+        let policy = CheckpointPolicy {
+            interval: TimeSpan::from_hours(6.0),
+            overhead: Fraction::saturating(0.02),
+        };
+        let e = policy.expected_compute(TimeSpan::from_days(10.0), 0.0);
+        assert!(e.is_finite());
+        assert!((e - 1.02).abs() < 1e-12, "expected 1.02, got {e}");
+    }
+
+    #[test]
+    fn oversized_interval_never_loses_more_than_a_restart() {
+        // Checkpointing every 30 days on a 1-day job: each failure can cost
+        // at most the from-scratch expectation (half the job), never 15×.
+        let policy = CheckpointPolicy {
+            interval: TimeSpan::from_days(30.0),
+            overhead: Fraction::saturating(0.02),
+        };
+        let job = TimeSpan::from_days(1.0);
+        for failures in [1.0, 10.0, 100.0] {
+            let with = policy.expected_compute(job, failures);
+            let without = CheckpointPolicy::baseline_expected_compute(job, failures);
+            assert!(
+                with <= without + policy.overhead.value() + 1e-12,
+                "failures {failures}: {with} vs baseline {without}"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_dominated_regime_still_beats_baseline() {
+        // A sane interval (≪ job): even at 1000 failures checkpointing wins.
+        let policy = CheckpointPolicy {
+            interval: TimeSpan::from_hours(1.0),
+            overhead: Fraction::saturating(0.02),
+        };
+        let job = TimeSpan::from_days(10.0);
+        let with = policy.expected_compute(job, 1000.0);
+        let without = CheckpointPolicy::baseline_expected_compute(job, 1000.0);
+        assert!(with < without, "{with} vs {without}");
+    }
+
+    #[test]
+    #[should_panic(expected = "job length must be positive")]
+    fn rejects_zero_length_job() {
+        let policy = CheckpointPolicy {
+            interval: TimeSpan::from_hours(1.0),
+            overhead: Fraction::ZERO,
+        };
+        let _ = policy.expected_compute(TimeSpan::ZERO, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure count must be non-negative")]
+    fn rejects_negative_failures() {
+        let policy = CheckpointPolicy {
+            interval: TimeSpan::from_hours(1.0),
+            overhead: Fraction::ZERO,
+        };
+        let _ = policy.expected_compute(TimeSpan::from_days(1.0), -1.0);
     }
 }

@@ -9,6 +9,9 @@
 //! * [`cluster`] — GPU clusters and their aggregate power/energy behaviour.
 //! * [`sim`] — a discrete-time (hourly) fleet simulation: job arrivals from
 //!   calibrated generators, placement, utilization and energy tracking.
+//! * [`chaos`] — failure injection for the simulator: host crashes with
+//!   checkpoint recovery, wear-out SDC re-runs, intensity-feed gaps, and
+//!   degraded power metering.
 //! * [`renewable`] — intermittent solar/wind generation traces and the
 //!   time-varying grid carbon intensity they induce.
 //! * [`storage`] — battery energy storage for 24/7 carbon-free operation.
@@ -27,6 +30,7 @@
 
 pub mod autoscale;
 pub mod capacity;
+pub mod chaos;
 pub mod cluster;
 pub mod constants;
 pub mod datacenter;

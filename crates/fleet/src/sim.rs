@@ -13,11 +13,15 @@ use std::collections::VecDeque;
 
 use sustain_core::footprint::CarbonFootprint;
 use sustain_core::intensity::AccountingBasis;
+use sustain_core::quality::DataQualityReport;
 use sustain_core::stats::Poisson;
 use sustain_core::units::{Co2e, Energy, Fraction, TimeSpan};
 use sustain_telemetry::device::PowerModel;
+use sustain_telemetry::faults::{FaultInjector, ImputationPolicy};
+use sustain_telemetry::meter::FaultTolerantIntegrator;
 use sustain_workload::training::JobGenerator;
 
+use crate::chaos::ChaosConfig;
 use crate::cluster::Cluster;
 use crate::datacenter::DataCenter;
 use crate::utilization::UtilizationModel;
@@ -36,6 +40,7 @@ pub struct FleetSim {
 #[derive(Debug, Clone, Copy)]
 struct RunningJob {
     gpus: u32,
+    total_gpu_hours: f64,
     remaining_gpu_hours: f64,
     utilization: Fraction,
 }
@@ -59,6 +64,21 @@ pub struct FleetSimReport {
     pub mean_allocation: Fraction,
     /// Mean achieved utilization across allocated GPU-hours.
     pub mean_busy_utilization: Fraction,
+    /// Host crash/restart events injected by the chaos harness.
+    pub host_crashes: u64,
+    /// Silent-data-corruption events injected by the chaos harness.
+    pub sdc_events: u64,
+    /// GPU-hours of completed work recomputed after crashes and SDC re-runs
+    /// — real extra energy and carbon already folded into `it_energy`.
+    pub recomputed_gpu_hours: f64,
+    /// Hours where the grid-intensity feed had a gap (variable-intensity
+    /// chaos runs only).
+    pub intensity_gap_hours: u64,
+    /// Data-quality accounting of the fleet's own power metering, present
+    /// when the chaos harness injected telemetry faults. `it_energy` is the
+    /// simulation's ground truth; `quality.accounted_energy()` is what the
+    /// degraded meter reported.
+    pub quality: Option<DataQualityReport>,
 }
 
 impl FleetSimReport {
@@ -109,7 +129,7 @@ impl FleetSim {
         rng: &mut R,
         series: &crate::scheduler::IntensitySeries,
     ) -> FleetSimReport {
-        let mut report = self.run_inner(rng, Some(series));
+        let (mut report, _) = self.run_inner(rng, Some(series), None);
         report.operational_market = report.operational_location
             * self
                 .datacenter
@@ -122,14 +142,52 @@ impl FleetSim {
 
     /// Runs the simulation at hourly steps.
     pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> FleetSimReport {
-        self.run_inner(rng, None)
+        self.run_inner(rng, None, None).0
+    }
+
+    /// Runs the simulation with a [`ChaosConfig`] injecting host crashes
+    /// (recovered via the configured checkpoint policy — the recomputed
+    /// GPU-hours are real extra energy and carbon), wear-out SDC re-runs,
+    /// and telemetry faults on the fleet's power metering.
+    ///
+    /// `ChaosConfig::none()` reproduces [`FleetSim::run`] exactly.
+    pub fn run_with_chaos<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        chaos: &ChaosConfig,
+    ) -> FleetSimReport {
+        self.run_inner(rng, None, Some(chaos)).0
+    }
+
+    /// Chaos plus a time-varying intensity feed. Hours where the feed has a
+    /// gap fall back to the region's static average intensity and — because
+    /// renewable matching cannot be proven without the feed — are charged at
+    /// full location intensity in the market basis.
+    pub fn run_with_chaos_and_intensity<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        series: &crate::scheduler::IntensitySeries,
+        chaos: &ChaosConfig,
+    ) -> FleetSimReport {
+        let (mut report, gap_co2) = self.run_inner(rng, Some(series), Some(chaos));
+        let matched = report.operational_location - gap_co2;
+        report.operational_market = matched
+            * self
+                .datacenter
+                .account()
+                .renewable_matching()
+                .complement()
+                .value()
+            + gap_co2;
+        report
     }
 
     fn run_inner<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         variable_intensity: Option<&crate::scheduler::IntensitySeries>,
-    ) -> FleetSimReport {
+        chaos: Option<&ChaosConfig>,
+    ) -> (FleetSimReport, Co2e) {
         let step = TimeSpan::from_hours(1.0);
         let steps = self.horizon.as_hours().ceil() as usize;
         let total_gpus = self.cluster.total_gpus() as f64;
@@ -151,14 +209,51 @@ impl FleetSim {
 
         let account = self.datacenter.account();
         let mut variable_co2 = Co2e::ZERO;
+
+        // Chaos machinery — every piece is inert (no RNG draws, exact ×1.0
+        // derate) when `chaos` is absent or zero-rate, so the undisturbed
+        // simulation is reproduced bit-for-bit.
+        let servers = self.cluster.servers() as f64;
+        let crash_dist = chaos.and_then(|c| {
+            let per_hour = c.crash_rate_per_server_day * servers / 24.0;
+            (per_hour > 0.0)
+                .then(|| Poisson::new(per_hour).ok())
+                .flatten()
+        });
+        let sdc_dist = chaos.and_then(|c| {
+            let per_hour = c.sdc_rate_per_server_hour() * servers;
+            (per_hour > 0.0)
+                .then(|| Poisson::new(per_hour).ok())
+                .flatten()
+        });
+        let progress_derate = match chaos {
+            Some(c) => 1.0 / (1.0 + c.checkpoint.overhead.value()),
+            None => 1.0,
+        };
+        let mut meter = chaos.and_then(|c| {
+            (!c.telemetry.is_none()).then(|| {
+                (
+                    FaultInjector::new(&c.telemetry, "fleet-power"),
+                    FaultTolerantIntegrator::new(step, ImputationPolicy::LastObservation),
+                )
+            })
+        });
+        let mut host_crashes = 0u64;
+        let mut sdc_events = 0u64;
+        let mut recomputed_gpu_hours = 0.0f64;
+        let mut intensity_gap_hours = 0u64;
+        let mut gap_co2 = Co2e::ZERO;
+
         for hour in 0..steps {
             let mut hour_energy = Energy::ZERO;
             // Arrivals.
             for _ in 0..arrivals.sample_count(rng) {
                 let job = self.jobs.sample(rng);
+                let gpu_hours = job.gpu_days() * 24.0;
                 queue.push_back(RunningJob {
                     gpus: job.gpus().min(self.cluster.total_gpus()),
-                    remaining_gpu_hours: job.gpu_days() * 24.0,
+                    total_gpu_hours: gpu_hours,
+                    remaining_gpu_hours: gpu_hours,
                     utilization: self.utilization.sample(rng),
                 });
             }
@@ -173,6 +268,40 @@ impl FleetSim {
                     break;
                 }
             }
+            // Chaos: host crashes roll victims back to their last checkpoint
+            // (half an interval of progress lost on average); SDC events
+            // re-run a fraction of everything the victim had completed.
+            if let Some(c) = chaos {
+                if let Some(dist) = &crash_dist {
+                    for _ in 0..dist.sample_count(rng) {
+                        host_crashes += 1;
+                        if running.is_empty() {
+                            continue; // the crash hit an idle server
+                        }
+                        let victim = rng.gen_index(running.len());
+                        let job = &mut running[victim];
+                        let done = (job.total_gpu_hours - job.remaining_gpu_hours).max(0.0);
+                        let rate = job.gpus as f64 * job.utilization.value() * progress_derate;
+                        let lost = (0.5 * c.checkpoint.interval.as_hours() * rate).min(done);
+                        job.remaining_gpu_hours += lost;
+                        recomputed_gpu_hours += lost;
+                    }
+                }
+                if let Some(dist) = &sdc_dist {
+                    for _ in 0..dist.sample_count(rng) {
+                        sdc_events += 1;
+                        if running.is_empty() {
+                            continue;
+                        }
+                        let victim = rng.gen_index(running.len());
+                        let job = &mut running[victim];
+                        let done = (job.total_gpu_hours - job.remaining_gpu_hours).max(0.0);
+                        let lost = c.sdc_rerun.value() * done;
+                        job.remaining_gpu_hours += lost;
+                        recomputed_gpu_hours += lost;
+                    }
+                }
+            }
             // Advance running jobs one hour and integrate energy.
             let mut still_running = Vec::with_capacity(running.len());
             for mut job in running.drain(..) {
@@ -182,7 +311,7 @@ impl FleetSim {
                 hour_energy += power * step * (job.gpus as f64 / gpus_per_server);
                 busy_util_acc += job.utilization.value() * gpu_hours;
                 busy_gpu_hours += gpu_hours;
-                job.remaining_gpu_hours -= gpu_hours * job.utilization.value();
+                job.remaining_gpu_hours -= gpu_hours * job.utilization.value() * progress_derate;
                 if job.remaining_gpu_hours <= 0.0 {
                     completed += 1;
                     free_gpus += job.gpus;
@@ -197,9 +326,31 @@ impl FleetSim {
             hour_energy += self.cluster.sku().power(Fraction::ZERO) * step * idle_servers;
             allocation_acc += 1.0 - idle_fraction;
             it_energy += hour_energy;
+            // Chaos: the fleet's own metering sees a corrupted view of the
+            // hour's mean power; the degraded-but-tolerant reading path
+            // accounts it. The simulation keeps integrating the truth.
+            if let Some((inj, integ)) = meter.as_mut() {
+                let at = step * hour as f64;
+                match inj.corrupt(at, step, hour_energy / step) {
+                    Some((t, p)) => integ.push(t, Some(p)),
+                    None => integ.push(at, None),
+                };
+            }
             if let Some(series) = variable_intensity {
                 let facility = account.pue().facility_energy(hour_energy);
-                variable_co2 += series.at(hour).emissions(facility);
+                let feed_gap = chaos.is_some_and(|c| {
+                    c.intensity_gap > Fraction::ZERO && rng.gen_bool(c.intensity_gap.value())
+                });
+                if feed_gap {
+                    // Feed missing: fall back to the region's static average
+                    // intensity; the hour cannot be renewably matched.
+                    let co2 = account.location_based(hour_energy);
+                    variable_co2 += co2;
+                    gap_co2 += co2;
+                    intensity_gap_hours += 1;
+                } else {
+                    variable_co2 += series.at(hour).emissions(facility);
+                }
             }
         }
 
@@ -213,7 +364,13 @@ impl FleetSim {
         } else {
             account.location_based(it_energy)
         };
-        FleetSimReport {
+        let quality = meter.map(|(inj, mut integ)| {
+            integ.merge_faults(&inj.counts());
+            let mut q = integ.report();
+            q.faults.host_crashes += host_crashes;
+            q
+        });
+        let report = FleetSimReport {
             it_energy,
             operational_location,
             operational_market: account.market_based(it_energy),
@@ -226,7 +383,13 @@ impl FleetSim {
             } else {
                 Fraction::ZERO
             },
-        }
+            host_crashes,
+            sdc_events,
+            recomputed_gpu_hours,
+            intensity_gap_hours,
+            quality,
+        };
+        (report, gap_co2)
     }
 }
 
@@ -354,6 +517,104 @@ mod tests {
     fn deterministic_under_fixed_seed() {
         let a = sim(10, 10.0, 5.0).run(&mut StdRng::seed_from_u64(7));
         let b = sim(10, 10.0, 5.0).run(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_chaos_reproduces_undisturbed_run_exactly() {
+        use crate::chaos::ChaosConfig;
+        let plain = sim(10, 10.0, 5.0).run(&mut StdRng::seed_from_u64(7));
+        let chaotic =
+            sim(10, 10.0, 5.0).run_with_chaos(&mut StdRng::seed_from_u64(7), &ChaosConfig::none());
+        assert_eq!(plain, chaotic, "ChaosConfig::none() must be a strict no-op");
+    }
+
+    #[test]
+    fn chaos_burns_extra_energy_through_recovery() {
+        use crate::chaos::ChaosConfig;
+        let chaos = ChaosConfig::datacenter_default()
+            .with_telemetry(sustain_telemetry::faults::FaultPlan::none())
+            .with_crash_rate(0.5)
+            .with_wearout(
+                crate::lifetime::WearoutModel::fleet_processor(),
+                TimeSpan::from_years(8.0),
+            );
+        let plain = sim(20, 20.0, 30.0).run(&mut StdRng::seed_from_u64(11));
+        let chaotic = sim(20, 20.0, 30.0).run_with_chaos(&mut StdRng::seed_from_u64(11), &chaos);
+        assert!(
+            chaotic.host_crashes > 50,
+            "crashes {}",
+            chaotic.host_crashes
+        );
+        assert!(chaotic.sdc_events > 0, "sdc {}", chaotic.sdc_events);
+        assert!(chaotic.recomputed_gpu_hours > 0.0);
+        // Recovery re-runs + checkpoint overhead leave fewer jobs done.
+        assert!(
+            chaotic.jobs_completed <= plain.jobs_completed,
+            "chaotic {} vs plain {}",
+            chaotic.jobs_completed,
+            plain.jobs_completed
+        );
+        assert!(chaotic.quality.is_none(), "telemetry disabled here");
+    }
+
+    #[test]
+    fn degraded_metering_reports_quality_but_not_truth() {
+        use crate::chaos::ChaosConfig;
+        use sustain_telemetry::faults::FaultPlan;
+        let chaos = ChaosConfig::none()
+            .with_telemetry(FaultPlan::degraded().with_seed(3).with_dropout(0.2));
+        let report = sim(10, 10.0, 30.0).run_with_chaos(&mut StdRng::seed_from_u64(13), &chaos);
+        let q = report.quality.expect("telemetry plan attaches quality");
+        assert!(q.coverage().value() < 1.0, "coverage {}", q.coverage());
+        assert!(q.imputed_energy > Energy::ZERO);
+        assert!(q.measured_energy > Energy::ZERO);
+        // Metered (measured + imputed) is close to, but not exactly, truth.
+        let metered = q.accounted_energy();
+        let err = ((metered / report.it_energy) - 1.0).abs();
+        assert!(err < 0.25, "metering error {err}");
+        assert!(err > 0.0, "degraded metering cannot be exact");
+        // The chaos-free simulation state (jobs, true energy) is untouched:
+        // the injector draws from its own stream.
+        let plain = sim(10, 10.0, 30.0).run(&mut StdRng::seed_from_u64(13));
+        assert_eq!(plain.it_energy, report.it_energy);
+        assert_eq!(plain.jobs_completed, report.jobs_completed);
+    }
+
+    #[test]
+    fn intensity_gaps_degrade_market_accounting() {
+        use crate::chaos::ChaosConfig;
+        use crate::scheduler::IntensitySeries;
+        let series = IntensitySeries::solar_day(6);
+        let chaos = ChaosConfig::none().with_intensity_gap(Fraction::saturating(0.3));
+        let clean = sim(10, 10.0, 30.0).run_with_chaos_and_intensity(
+            &mut StdRng::seed_from_u64(17),
+            &series,
+            &ChaosConfig::none(),
+        );
+        let gappy = sim(10, 10.0, 30.0).run_with_chaos_and_intensity(
+            &mut StdRng::seed_from_u64(17),
+            &series,
+            &chaos,
+        );
+        assert_eq!(clean.intensity_gap_hours, 0);
+        assert!(
+            gappy.intensity_gap_hours > 100,
+            "gaps {}",
+            gappy.intensity_gap_hours
+        );
+        // Hyperscale DC fully matches renewables: market is zero with a
+        // clean feed, strictly positive once gap hours cannot be proven.
+        assert!(clean.operational_market.is_zero());
+        assert!(gappy.operational_market > Co2e::ZERO);
+    }
+
+    #[test]
+    fn chaos_run_is_deterministic() {
+        use crate::chaos::ChaosConfig;
+        let chaos = ChaosConfig::datacenter_default();
+        let a = sim(10, 10.0, 10.0).run_with_chaos(&mut StdRng::seed_from_u64(23), &chaos);
+        let b = sim(10, 10.0, 10.0).run_with_chaos(&mut StdRng::seed_from_u64(23), &chaos);
         assert_eq!(a, b);
     }
 }

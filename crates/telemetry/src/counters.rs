@@ -58,6 +58,7 @@ pub struct SimulatedRapl {
     package_uj: u64,
     dram_uj: u64,
     uncore_uj: u64,
+    wrap_uj: Option<u64>,
 }
 
 impl Default for SimulatedRapl {
@@ -83,7 +84,27 @@ impl SimulatedRapl {
             package_uj: 0,
             dram_uj: 0,
             uncore_uj: 0,
+            wrap_uj: None,
         }
+    }
+
+    /// Makes `read` behave like a real fixed-width register, rolling over
+    /// every `period_uj` microjoules (use
+    /// [`crate::constants::RAPL_WRAP_UJ`] for the 32-bit RAPL register).
+    /// Deltas across reads must then go through [`SimulatedRapl::delta_wrapping`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_uj` is zero.
+    pub fn with_wrap(mut self, period_uj: u64) -> SimulatedRapl {
+        assert!(period_uj > 0, "wrap period must be positive");
+        self.wrap_uj = Some(period_uj);
+        self
+    }
+
+    /// The configured wrap period, if any.
+    pub fn wrap_period(&self) -> Option<u64> {
+        self.wrap_uj
     }
 
     /// Advances simulated time with the package at `utilization`.
@@ -98,18 +119,32 @@ impl SimulatedRapl {
     }
 
     /// Reads the cumulative counter for a domain, in microjoules — the raw
-    /// integer a real `/sys/class/powercap` read would return.
+    /// integer a real `/sys/class/powercap` read would return. With a wrap
+    /// period configured the value rolls over like the real register.
     pub fn read(&self, domain: RaplDomain) -> u64 {
-        match domain {
+        let raw = match domain {
             RaplDomain::Package => self.package_uj,
             RaplDomain::Dram => self.dram_uj,
             RaplDomain::Uncore => self.uncore_uj,
+        };
+        match self.wrap_uj {
+            Some(period) => raw % period,
+            None => raw,
         }
     }
 
-    /// Energy between two counter readings.
+    /// Energy between two counter readings, assuming the counter never wraps
+    /// (the legacy reading — a backwards counter saturates to zero energy).
     pub fn delta(before: u64, after: u64) -> Energy {
-        Energy::from_joules((after.saturating_sub(before)) as f64 / 1e6)
+        crate::faults::wrapping_delta(before, after, None)
+    }
+
+    /// Wraparound-aware energy between two readings of a register with the
+    /// given wrap period: a reading below its predecessor is interpreted as
+    /// exactly one rollover, recovering the true delta as long as reads come
+    /// at least once per wrap period.
+    pub fn delta_wrapping(before: u64, after: u64, period_uj: u64) -> Energy {
+        crate::faults::wrapping_delta(before, after, Some(period_uj))
     }
 
     /// Total energy across all domains since construction.
@@ -222,6 +257,39 @@ mod tests {
     fn rapl_delta_saturates_on_reset() {
         // A counter that appears to go backwards yields zero, not underflow.
         assert_eq!(SimulatedRapl::delta(100, 50), Energy::ZERO);
+    }
+
+    #[test]
+    fn wrapped_register_rolls_over_and_delta_recovers() {
+        let step = TimeSpan::from_secs(1.0);
+        let util = Fraction::new(0.5).unwrap();
+        // Ground-truth µJ per step from an unwrapped twin.
+        let truth_uj = {
+            let mut plain = SimulatedRapl::new();
+            plain.advance(step, util);
+            plain.read(RaplDomain::Package)
+        };
+        // A register 1.5 steps wide wraps exactly once across the second step.
+        let period = truth_uj + truth_uj / 2;
+        let mut rapl = SimulatedRapl::new().with_wrap(period);
+        assert_eq!(rapl.wrap_period(), Some(period));
+        rapl.advance(step, util);
+        let before = rapl.read(RaplDomain::Package);
+        rapl.advance(step, util);
+        let after = rapl.read(RaplDomain::Package);
+        assert!(after < before, "register must have rolled over");
+        // Wrap-oblivious reading loses the step; wrap-aware recovers it.
+        assert_eq!(SimulatedRapl::delta(before, after), Energy::ZERO);
+        let recovered = SimulatedRapl::delta_wrapping(before, after, period);
+        assert!((recovered.as_joules() - truth_uj as f64 / 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delta_wrapping_matches_plain_delta_without_rollover() {
+        assert_eq!(
+            SimulatedRapl::delta_wrapping(100, 400, 1 << 32),
+            SimulatedRapl::delta(100, 400)
+        );
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`trace`] — recorded power traces: resampling, merging, energy integrals.
 //! * [`tracker`] — a CodeCarbon-style job tracker that turns meter readings
 //!   into [`FootprintReport`](sustain_core::footprint::FootprintReport)s.
+//! * [`faults`] — reproducible fault injection (dropout, counter wraparound,
+//!   read timeouts, stuck counters, clock skew, noise bursts) and the
+//!   degradation-tolerant reading path that survives it.
 //!
 //! ## Example
 //!
@@ -35,12 +38,14 @@ pub mod constants;
 pub mod counters;
 pub mod device;
 pub mod estimation;
+pub mod faults;
 pub mod hierarchy;
 pub mod meter;
 pub mod trace;
 pub mod tracker;
 
 pub use device::{DeviceSpec, LinearPowerModel, PowerModel};
-pub use meter::EnergyIntegrator;
+pub use faults::{FaultInjector, FaultPlan, ImputationPolicy};
+pub use meter::{EnergyIntegrator, FaultTolerantIntegrator};
 pub use trace::PowerTrace;
 pub use tracker::CarbonTracker;

@@ -2,13 +2,17 @@
 //!
 //! [`EnergyIntegrator`] accumulates `(time, power)` samples and integrates
 //! them trapezoidally into an energy total — the core of every software power
-//! meter (RAPL readers, NVML pollers, CodeCarbon). [`sample_profile`] drives a
-//! `PowerModel` over a utilization signal to
-//! produce a `PowerTrace`.
+//! meter (RAPL readers, NVML pollers, CodeCarbon). [`FaultTolerantIntegrator`]
+//! is its degradation-tolerant sibling: it survives lost samples and ragged
+//! timestamps, splits its total into measured vs imputed energy, and reports
+//! the split as a [`DataQualityReport`]. [`sample_profile`] drives a
+//! `PowerModel` over a utilization signal to produce a `PowerTrace`.
 
+use sustain_core::quality::{DataQualityReport, FaultCounts};
 use sustain_core::units::{Energy, Fraction, Power, TimeSpan};
 
 use crate::device::PowerModel;
+use crate::faults::ImputationPolicy;
 use crate::trace::PowerTrace;
 
 /// Incremental trapezoidal integration of power samples into energy.
@@ -81,6 +85,141 @@ impl EnergyIntegrator {
             self.energy / w
         } else {
             Power::ZERO
+        }
+    }
+}
+
+/// A degradation-tolerant energy integrator.
+///
+/// Where [`EnergyIntegrator`] assumes a perfect sample stream, this one is
+/// built for the stream a [`crate::faults::FaultInjector`] (or a real broken
+/// collector) produces: samples may be missing (`None`), timestamps may
+/// jitter off the nominal grid, and gaps longer than
+/// [`crate::constants::GAP_DETECTION_FACTOR`] × the nominal interval are
+/// bridged by an [`ImputationPolicy`] instead of being silently integrated as
+/// if measured. The measured/imputed split is preserved and exposed as a
+/// [`DataQualityReport`].
+///
+/// ```rust
+/// use sustain_telemetry::faults::ImputationPolicy;
+/// use sustain_telemetry::meter::FaultTolerantIntegrator;
+/// use sustain_core::units::{Power, TimeSpan};
+///
+/// let mut m = FaultTolerantIntegrator::new(
+///     TimeSpan::from_secs(1.0),
+///     ImputationPolicy::LastObservation,
+/// );
+/// m.push(TimeSpan::from_secs(0.0), Some(Power::from_watts(100.0)));
+/// m.push(TimeSpan::from_secs(1.0), None); // lost sample
+/// m.push(TimeSpan::from_secs(2.0), Some(Power::from_watts(100.0)));
+/// let q = m.report();
+/// assert!(q.coverage().value() < 1.0);
+/// // The 0→2 s bridge spans the lost tick, so its 200 J are charged to
+/// // imputation, not measurement.
+/// assert!((q.accounted_energy().as_joules() - 200.0).abs() < 1e-9);
+/// assert!((q.imputed_energy.as_joules() - 200.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultTolerantIntegrator {
+    interval: TimeSpan,
+    policy: ImputationPolicy,
+    last: Option<(TimeSpan, Power)>,
+    expected: u64,
+    observed: u64,
+    measured: Energy,
+    imputed: Energy,
+    faults: FaultCounts,
+}
+
+impl FaultTolerantIntegrator {
+    /// Creates an integrator expecting samples every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is non-positive.
+    pub fn new(interval: TimeSpan, policy: ImputationPolicy) -> FaultTolerantIntegrator {
+        assert!(
+            interval.as_secs() > 0.0,
+            "sampling interval must be positive"
+        );
+        FaultTolerantIntegrator {
+            interval,
+            policy,
+            last: None,
+            expected: 0,
+            observed: 0,
+            measured: Energy::ZERO,
+            imputed: Energy::ZERO,
+            faults: FaultCounts::default(),
+        }
+    }
+
+    /// The imputation policy in force.
+    pub fn policy(&self) -> ImputationPolicy {
+        self.policy
+    }
+
+    /// Pushes one sampling tick: `Some(power)` for an observed reading,
+    /// `None` for a lost one (dropout / read timeout). Out-of-order observed
+    /// samples are ignored and the method returns `false`; every call still
+    /// counts one expected tick.
+    pub fn push(&mut self, at: TimeSpan, sample: Option<Power>) -> bool {
+        self.expected += 1;
+        let Some(power) = sample else {
+            return true;
+        };
+        if let Some((t0, p0)) = self.last {
+            if at < t0 {
+                return false;
+            }
+            let dt = at - t0;
+            let gap_limit = self.interval * crate::constants::GAP_DETECTION_FACTOR;
+            let segment = (p0 + power) * 0.5 * dt;
+            if dt > gap_limit {
+                // Missing samples in between: charge the bridge to imputation.
+                self.imputed += match self.policy {
+                    ImputationPolicy::Linear => segment,
+                    ImputationPolicy::LastObservation => p0 * dt,
+                    ImputationPolicy::ModelBased { assumed } => assumed * dt,
+                };
+            } else {
+                self.measured += segment;
+            }
+        }
+        self.last = Some((at, power));
+        self.observed += 1;
+        true
+    }
+
+    /// Folds an injector's (or any upstream source's) fault tallies into the
+    /// report this integrator will emit.
+    pub fn merge_faults(&mut self, faults: &FaultCounts) {
+        self.faults.merge(faults);
+    }
+
+    /// Energy integrated from contiguous observed samples.
+    pub fn measured_energy(&self) -> Energy {
+        self.measured
+    }
+
+    /// Energy bridged across gaps by the imputation policy.
+    pub fn imputed_energy(&self) -> Energy {
+        self.imputed
+    }
+
+    /// Total accounted energy: measured plus imputed.
+    pub fn energy(&self) -> Energy {
+        self.measured + self.imputed
+    }
+
+    /// The data-quality accounting for everything pushed so far.
+    pub fn report(&self) -> DataQualityReport {
+        DataQualityReport {
+            expected_samples: self.expected,
+            observed_samples: self.observed,
+            measured_energy: self.measured,
+            imputed_energy: self.imputed,
+            faults: self.faults,
         }
     }
 }
@@ -237,5 +376,104 @@ mod tests {
             TimeSpan::from_secs(1.0),
             TimeSpan::ZERO,
         );
+    }
+
+    fn ft(policy: ImputationPolicy) -> FaultTolerantIntegrator {
+        FaultTolerantIntegrator::new(TimeSpan::from_secs(1.0), policy)
+    }
+
+    #[test]
+    fn fault_tolerant_matches_plain_on_clean_stream() {
+        let mut plain = EnergyIntegrator::new();
+        let mut tolerant = ft(ImputationPolicy::Linear);
+        for i in 0..=20 {
+            let t = TimeSpan::from_secs(i as f64);
+            let p = Power::from_watts(100.0 + 5.0 * i as f64);
+            plain.push(t, p);
+            tolerant.push(t, Some(p));
+        }
+        assert_eq!(tolerant.measured_energy(), plain.energy());
+        assert!(tolerant.imputed_energy().is_zero());
+        let q = tolerant.report();
+        assert!(q.is_pristine());
+        assert_eq!(q.coverage(), Fraction::ONE);
+    }
+
+    #[test]
+    fn linear_imputation_bridges_a_gap_exactly() {
+        // Constant 100 W with ticks 3..7 lost: linear bridge loses nothing.
+        let mut m = ft(ImputationPolicy::Linear);
+        for i in 0..=10 {
+            let t = TimeSpan::from_secs(i as f64);
+            let lost = (3..=6).contains(&i);
+            m.push(t, (!lost).then_some(Power::from_watts(100.0)));
+        }
+        assert!((m.energy().as_joules() - 1000.0).abs() < 1e-9);
+        // The 2→7 s bridge (500 J) is imputed; the rest is measured.
+        assert!((m.imputed_energy().as_joules() - 500.0).abs() < 1e-9);
+        assert!((m.measured_energy().as_joules() - 500.0).abs() < 1e-9);
+        let q = m.report();
+        assert_eq!(q.expected_samples, 11);
+        assert_eq!(q.observed_samples, 7);
+        assert!(q.coverage().value() < 1.0);
+    }
+
+    #[test]
+    fn last_observation_holds_flat_across_gap() {
+        // 100 W before the gap, 300 W after: LOCF charges the gap at 100 W.
+        let mut m = ft(ImputationPolicy::LastObservation);
+        m.push(TimeSpan::from_secs(0.0), Some(Power::from_watts(100.0)));
+        m.push(TimeSpan::from_secs(1.0), Some(Power::from_watts(100.0)));
+        m.push(TimeSpan::from_secs(2.0), None);
+        m.push(TimeSpan::from_secs(3.0), None);
+        m.push(TimeSpan::from_secs(4.0), Some(Power::from_watts(300.0)));
+        // Measured 0→1 s at 100 W = 100 J; imputed 1→4 s at 100 W = 300 J.
+        assert!((m.measured_energy().as_joules() - 100.0).abs() < 1e-9);
+        assert!((m.imputed_energy().as_joules() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_based_imputation_charges_assumed_power() {
+        let mut m = ft(ImputationPolicy::ModelBased {
+            assumed: Power::from_watts(250.0),
+        });
+        m.push(TimeSpan::from_secs(0.0), Some(Power::from_watts(100.0)));
+        m.push(TimeSpan::from_secs(1.0), None);
+        m.push(TimeSpan::from_secs(2.0), Some(Power::from_watts(100.0)));
+        // The 0→2 s gap is charged at the assumed 250 W.
+        assert!((m.imputed_energy().as_joules() - 500.0).abs() < 1e-9);
+        assert!(m.measured_energy().is_zero());
+    }
+
+    #[test]
+    fn jittered_timestamps_within_gap_limit_stay_measured() {
+        let mut m = ft(ImputationPolicy::Linear);
+        // Ticks at 0, 1.2, 2.1, 3.4 s — ragged but every dt ≤ 1.5 s.
+        for t in [0.0, 1.2, 2.1, 3.4] {
+            m.push(TimeSpan::from_secs(t), Some(Power::from_watts(100.0)));
+        }
+        assert!(m.imputed_energy().is_zero());
+        assert!((m.measured_energy().as_joules() - 340.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_observed_sample_is_ignored() {
+        let mut m = ft(ImputationPolicy::Linear);
+        assert!(m.push(TimeSpan::from_secs(5.0), Some(Power::from_watts(1.0))));
+        assert!(!m.push(TimeSpan::from_secs(4.0), Some(Power::from_watts(1.0))));
+        let q = m.report();
+        assert_eq!(q.expected_samples, 2);
+        assert_eq!(q.observed_samples, 1);
+    }
+
+    #[test]
+    fn merged_faults_surface_in_report() {
+        use sustain_core::quality::{FaultCounts, FaultKind};
+        let mut m = ft(ImputationPolicy::Linear);
+        let mut c = FaultCounts::default();
+        c.record(FaultKind::Dropout);
+        c.record(FaultKind::CounterWrap);
+        m.merge_faults(&c);
+        assert_eq!(m.report().faults.total(), 2);
     }
 }
