@@ -20,18 +20,24 @@ use sustain_workload::recsys::DlrmConfig;
 use crate::table::{num, Table};
 use crate::SEED;
 
+/// The extension tables by name, in print order.
+pub const TABLES: &[super::NamedFigure] = &[
+    ("figure.ext_lifetime_tradeoff", lifetime_tradeoff),
+    ("figure.ext_disaggregation", disaggregation),
+    ("figure.ext_multitenancy", multitenancy),
+    ("figure.ext_compression", compression),
+    ("figure.ext_client_selection", client_selection),
+    ("figure.ext_estimation_error", estimation_error),
+    ("figure.ext_geo_placement", geo_placement),
+    ("figure.ext_data_pipeline", data_pipeline),
+];
+
 /// All extension tables.
 pub fn all() -> Vec<Table> {
-    vec![
-        lifetime_tradeoff(),
-        disaggregation(),
-        multitenancy(),
-        compression(),
-        client_selection(),
-        estimation_error(),
-        geo_placement(),
-        data_pipeline(),
-    ]
+    TABLES
+        .iter()
+        .map(|(name, generate)| super::traced(name, *generate))
+        .collect()
 }
 
 /// §IV-C: follow-the-sun placement across three timezone-shifted regions.

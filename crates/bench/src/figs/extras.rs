@@ -18,16 +18,22 @@ use sustain_workload::ssl::TrainingRegime;
 use crate::table::{num, Table};
 use crate::SEED;
 
+/// The extra experiment tables by name, in print order.
+pub const TABLES: &[super::NamedFigure] = &[
+    ("figure.extras_quantization", quantization),
+    ("figure.extras_nas_cost", nas_cost),
+    ("figure.extras_data_sampling", data_sampling),
+    ("figure.extras_ssl_tradeoff", ssl_tradeoff),
+    ("figure.extras_carbon_scheduling", carbon_scheduling),
+    ("figure.extras_experimentation", experimentation),
+];
+
 /// All extra experiment tables.
 pub fn all() -> Vec<Table> {
-    vec![
-        quantization(),
-        nas_cost(),
-        data_sampling(),
-        ssl_tradeoff(),
-        carbon_scheduling(),
-        experimentation(),
-    ]
+    TABLES
+        .iter()
+        .map(|(name, generate)| super::traced(name, *generate))
+        .collect()
 }
 
 /// §II-A / §IV-B: experimentation campaigns and early stopping.

@@ -24,9 +24,19 @@ use sustain_workload::training::{JobClass, JobGenerator};
 use crate::table::{num, Table};
 use crate::SEED;
 
+/// The robustness tables by name, in narrative order.
+pub const TABLES: &[super::NamedFigure] = &[
+    ("figure.faults_telemetry_sweep", telemetry_fault_sweep),
+    ("figure.faults_chaos_fleet", chaos_fleet),
+    ("figure.faults_renewable_gaps", renewable_gaps),
+];
+
 /// All robustness tables, in narrative order.
 pub fn all() -> Vec<Table> {
-    vec![telemetry_fault_sweep(), chaos_fleet(), renewable_gaps()]
+    TABLES
+        .iter()
+        .map(|(name, generate)| super::traced(name, *generate))
+        .collect()
 }
 
 /// One day of minutely samples from a smooth synthetic load curve.

@@ -21,26 +21,50 @@ pub mod fig12_pareto;
 
 use crate::table::Table;
 
+/// A named regenerator: the obs span name and the function producing the
+/// table.
+pub type NamedFigure = (&'static str, fn() -> Table);
+
+/// The paper figures by name, in paper order (used so the obs layer can
+/// record one `figure.<name>` span per regenerator).
+pub const FIGURES: &[NamedFigure] = &[
+    ("figure.fig01_growth", fig01_growth::generate),
+    ("figure.fig02_trends", fig02_trends::generate),
+    ("figure.fig03_phases", fig03_phases::generate),
+    ("figure.fig04_operational", fig04_operational::generate),
+    ("figure.fig05_overall", fig05_overall::generate),
+    ("figure.fig06_iterative", fig06_iterative::generate),
+    ("figure.fig07_waterfall", fig07_waterfall::generate),
+    ("figure.fig08_jevons", fig08_jevons::generate),
+    ("figure.fig09_utilization", fig09_utilization::generate),
+    ("figure.fig10_histogram", fig10_histogram::generate),
+    ("figure.fig11_federated", fig11_federated::generate),
+    ("figure.fig12_pareto", fig12_pareto::generate),
+];
+
+/// Runs one figure generator inside a `figure.<name>` span on the
+/// process-global obs handle — per-figure wall time when `all_figures` runs
+/// with `--obs` and a wall clock, a pure pass-through otherwise.
+pub(crate) fn traced(name: &'static str, generate: fn() -> Table) -> Table {
+    let obs = sustain_obs::handle();
+    let _span = obs.span(name);
+    let table = generate();
+    if obs.enabled() {
+        obs.counter("figures_generated_total").inc();
+    }
+    table
+}
+
 /// Generates every figure's table, in paper order.
 ///
 /// The robustness tables in [`faults`] are deliberately excluded: they are
 /// printed by the separate `fig_faults` binary so the paper-figure outputs
 /// stay byte-identical.
 pub fn all() -> Vec<Table> {
-    let mut tables = vec![
-        fig01_growth::generate(),
-        fig02_trends::generate(),
-        fig03_phases::generate(),
-        fig04_operational::generate(),
-        fig05_overall::generate(),
-        fig06_iterative::generate(),
-        fig07_waterfall::generate(),
-        fig08_jevons::generate(),
-        fig09_utilization::generate(),
-        fig10_histogram::generate(),
-        fig11_federated::generate(),
-        fig12_pareto::generate(),
-    ];
+    let mut tables: Vec<Table> = FIGURES
+        .iter()
+        .map(|(name, generate)| traced(name, *generate))
+        .collect();
     tables.extend(extras::all());
     tables.extend(extensions::all());
     tables

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use sustain_core::stats::{LogNormal, Sampler};
 use sustain_core::units::{DataVolume, Fraction, TimeSpan};
+use sustain_obs::Obs;
 
 use crate::comm::CommModel;
 use crate::device::{ClientDevice, DeviceTier};
@@ -116,12 +117,27 @@ impl FlApp {
     /// time is the tier-adjusted mid-tier workload with log-normal jitter,
     /// and transfer times follow the device's link rates. Dropouts compute
     /// half a round and skip the upload.
+    ///
+    /// Observability goes through the process-global handle (disabled by
+    /// default); use [`FlApp::simulate_with_obs`] for explicit injection.
     pub fn simulate<R: Rng + ?Sized>(&self, rng: &mut R) -> ClientLog {
+        self.simulate_with_obs(rng, &sustain_obs::handle())
+    }
+
+    /// [`FlApp::simulate`] reporting through an explicit [`Obs`] handle:
+    /// one `fl.simulate` span over the run, one `fl.round` span per round,
+    /// and session/dropout counters. `FlApp` itself stays a plain
+    /// serializable config, so the handle is passed per call rather than
+    /// stored.
+    pub fn simulate_with_obs<R: Rng + ?Sized>(&self, rng: &mut R, obs: &Obs) -> ClientLog {
         // lint:allow(panic-discipline) fixed, known-good jitter parameters
         let jitter = LogNormal::from_median_p99(1.0, 3.0).expect("valid jitter");
         let comm = CommModel::paper_default();
         let mut log = ClientLog::ninety_day();
+        let _run = obs.span("fl.simulate");
+        let mut dropouts = 0u64;
         for _ in 0..self.rounds {
+            let _round = obs.span("fl.round");
             for _ in 0..self.clients_per_round {
                 let tier = sample_tier(rng);
                 let device = ClientDevice::paper_reference(tier);
@@ -129,6 +145,7 @@ impl FlApp {
                 let download = comm.transfer_time(self.update_size, device.download_rate());
                 let dropped = rng.gen::<f64>() < self.dropout.value();
                 let entry = if dropped {
+                    dropouts += 1;
                     ClientLogEntry {
                         compute: compute * 0.5,
                         download,
@@ -143,6 +160,10 @@ impl FlApp {
                 };
                 log.push(entry);
             }
+        }
+        if obs.enabled() {
+            obs.counter("fl_sessions_total").add(log.len() as f64);
+            obs.counter("fl_dropouts_total").add(dropouts as f64);
         }
         log
     }

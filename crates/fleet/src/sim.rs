@@ -16,6 +16,7 @@ use sustain_core::intensity::AccountingBasis;
 use sustain_core::quality::DataQualityReport;
 use sustain_core::stats::Poisson;
 use sustain_core::units::{Co2e, Energy, Fraction, TimeSpan};
+use sustain_obs::Obs;
 use sustain_telemetry::device::PowerModel;
 use sustain_telemetry::faults::{FaultInjector, ImputationPolicy};
 use sustain_telemetry::meter::FaultTolerantIntegrator;
@@ -35,6 +36,7 @@ pub struct FleetSim {
     utilization: UtilizationModel,
     arrivals_per_day: f64,
     horizon: TimeSpan,
+    obs: Obs,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -116,7 +118,18 @@ impl FleetSim {
             utilization,
             arrivals_per_day,
             horizon,
+            obs: sustain_obs::handle(),
         }
+    }
+
+    /// Replaces the observability handle captured at construction (the
+    /// process-global handle, disabled by default). Hour-by-hour phase spans
+    /// and fleet counters are recorded through it; the simulation itself is
+    /// unaffected — observability never draws from the RNG.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> FleetSim {
+        self.obs = obs.clone();
+        self
     }
 
     /// Runs the simulation at hourly steps under a *time-varying* grid
@@ -233,7 +246,7 @@ impl FleetSim {
         let mut meter = chaos.and_then(|c| {
             (!c.telemetry.is_none()).then(|| {
                 (
-                    FaultInjector::new(&c.telemetry, "fleet-power"),
+                    FaultInjector::new(&c.telemetry, "fleet-power").with_obs(&self.obs),
                     FaultTolerantIntegrator::new(step, ImputationPolicy::LastObservation),
                 )
             })
@@ -243,35 +256,50 @@ impl FleetSim {
         let mut recomputed_gpu_hours = 0.0f64;
         let mut intensity_gap_hours = 0u64;
         let mut gap_co2 = Co2e::ZERO;
+        let mut jobs_arrived = 0u64;
+
+        let obs = &self.obs;
+        obs.set_time(TimeSpan::ZERO);
+        let run_span = obs.span("fleet_sim.run");
 
         for hour in 0..steps {
+            obs.set_time(step * hour as f64);
             let mut hour_energy = Energy::ZERO;
             // Arrivals.
-            for _ in 0..arrivals.sample_count(rng) {
-                let job = self.jobs.sample(rng);
-                let gpu_hours = job.gpu_days() * 24.0;
-                queue.push_back(RunningJob {
-                    gpus: job.gpus().min(self.cluster.total_gpus()),
-                    total_gpu_hours: gpu_hours,
-                    remaining_gpu_hours: gpu_hours,
-                    utilization: self.utilization.sample(rng),
-                });
+            {
+                let _phase = obs.span("fleet_sim.arrivals");
+                let count = arrivals.sample_count(rng);
+                jobs_arrived += count;
+                for _ in 0..count {
+                    let job = self.jobs.sample(rng);
+                    let gpu_hours = job.gpu_days() * 24.0;
+                    queue.push_back(RunningJob {
+                        gpus: job.gpus().min(self.cluster.total_gpus()),
+                        total_gpu_hours: gpu_hours,
+                        remaining_gpu_hours: gpu_hours,
+                        utilization: self.utilization.sample(rng),
+                    });
+                }
             }
             // Placement (FIFO).
-            while let Some(job) = queue.front() {
-                if job.gpus <= free_gpus {
-                    // lint:allow(panic-discipline) loop condition checked front()
-                    let job = queue.pop_front().expect("front exists");
-                    free_gpus -= job.gpus;
-                    running.push(job);
-                } else {
-                    break;
+            {
+                let _phase = obs.span("fleet_sim.placement");
+                while let Some(job) = queue.front() {
+                    if job.gpus <= free_gpus {
+                        // lint:allow(panic-discipline) loop condition checked front()
+                        let job = queue.pop_front().expect("front exists");
+                        free_gpus -= job.gpus;
+                        running.push(job);
+                    } else {
+                        break;
+                    }
                 }
             }
             // Chaos: host crashes roll victims back to their last checkpoint
             // (half an interval of progress lost on average); SDC events
             // re-run a fraction of everything the victim had completed.
             if let Some(c) = chaos {
+                let _phase = obs.span("fleet_sim.chaos_recovery");
                 if let Some(dist) = &crash_dist {
                     for _ in 0..dist.sample_count(rng) {
                         host_crashes += 1;
@@ -285,6 +313,7 @@ impl FleetSim {
                         let lost = (0.5 * c.checkpoint.interval.as_hours() * rate).min(done);
                         job.remaining_gpu_hours += lost;
                         recomputed_gpu_hours += lost;
+                        obs.event("chaos.crash", &[("lost_gpu_hours", lost.into())]);
                     }
                 }
                 if let Some(dist) = &sdc_dist {
@@ -299,41 +328,51 @@ impl FleetSim {
                         let lost = c.sdc_rerun.value() * done;
                         job.remaining_gpu_hours += lost;
                         recomputed_gpu_hours += lost;
+                        obs.event("chaos.sdc", &[("lost_gpu_hours", lost.into())]);
                     }
                 }
             }
             // Advance running jobs one hour and integrate energy.
-            let mut still_running = Vec::with_capacity(running.len());
-            for mut job in running.drain(..) {
-                let gpu_hours = job.gpus as f64;
-                let power = per_gpu(self.cluster.sku().power_model(), job.utilization);
-                // Per-GPU share of the server power envelope.
-                hour_energy += power * step * (job.gpus as f64 / gpus_per_server);
-                busy_util_acc += job.utilization.value() * gpu_hours;
-                busy_gpu_hours += gpu_hours;
-                job.remaining_gpu_hours -= gpu_hours * job.utilization.value() * progress_derate;
-                if job.remaining_gpu_hours <= 0.0 {
-                    completed += 1;
-                    free_gpus += job.gpus;
-                } else {
-                    still_running.push(job);
+            {
+                let _phase = obs.span("fleet_sim.integrate");
+                let mut still_running = Vec::with_capacity(running.len());
+                for mut job in running.drain(..) {
+                    let gpu_hours = job.gpus as f64;
+                    let power = per_gpu(self.cluster.sku().power_model(), job.utilization);
+                    // Per-GPU share of the server power envelope.
+                    hour_energy += power * step * (job.gpus as f64 / gpus_per_server);
+                    busy_util_acc += job.utilization.value() * gpu_hours;
+                    busy_gpu_hours += gpu_hours;
+                    job.remaining_gpu_hours -=
+                        gpu_hours * job.utilization.value() * progress_derate;
+                    if job.remaining_gpu_hours <= 0.0 {
+                        completed += 1;
+                        free_gpus += job.gpus;
+                    } else {
+                        still_running.push(job);
+                    }
+                }
+                running = still_running;
+                // Idle servers draw idle power.
+                let idle_fraction = free_gpus as f64 / total_gpus;
+                let idle_servers = self.cluster.servers() as f64 * idle_fraction;
+                hour_energy += self.cluster.sku().power(Fraction::ZERO) * step * idle_servers;
+                allocation_acc += 1.0 - idle_fraction;
+                it_energy += hour_energy;
+                if obs.enabled() {
+                    obs.histogram("fleet_hour_energy_kwh")
+                        .record(hour_energy.as_kilowatt_hours());
+                    obs.gauge("fleet_free_gpus").set(free_gpus as f64);
                 }
             }
-            running = still_running;
-            // Idle servers draw idle power.
-            let idle_fraction = free_gpus as f64 / total_gpus;
-            let idle_servers = self.cluster.servers() as f64 * idle_fraction;
-            hour_energy += self.cluster.sku().power(Fraction::ZERO) * step * idle_servers;
-            allocation_acc += 1.0 - idle_fraction;
-            it_energy += hour_energy;
             // Chaos: the fleet's own metering sees a corrupted view of the
             // hour's mean power; the degraded-but-tolerant reading path
             // accounts it. The simulation keeps integrating the truth.
             if let Some((inj, integ)) = meter.as_mut() {
                 let at = step * hour as f64;
                 match inj.corrupt(at, step, hour_energy / step) {
-                    Some((t, p)) => integ.push(t, Some(p)),
-                    None => integ.push(at, None),
+                    Some((t, p)) => integ.push_traced(t, Some(p), obs),
+                    None => integ.push_traced(at, None, obs),
                 };
             }
             if let Some(series) = variable_intensity {
@@ -348,10 +387,25 @@ impl FleetSim {
                     variable_co2 += co2;
                     gap_co2 += co2;
                     intensity_gap_hours += 1;
+                    obs.event("fleet_sim.intensity_gap", &[("hour", (hour as u64).into())]);
                 } else {
                     variable_co2 += series.at(hour).emissions(facility);
                 }
             }
+        }
+
+        obs.set_time(step * steps as f64);
+        drop(run_span);
+        if obs.enabled() {
+            obs.counter("fleet_jobs_arrived_total")
+                .add(jobs_arrived as f64);
+            obs.counter("fleet_jobs_completed_total")
+                .add(completed as f64);
+            obs.counter("fleet_host_crashes_total")
+                .add(host_crashes as f64);
+            obs.counter("fleet_sdc_events_total").add(sdc_events as f64);
+            obs.counter("fleet_intensity_gap_hours_total")
+                .add(intensity_gap_hours as f64);
         }
 
         // Embodied carbon on a time-share basis: the whole cluster exists for

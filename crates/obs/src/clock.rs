@@ -1,0 +1,132 @@
+//! Clock sources for span and event timestamps.
+//!
+//! Simulation code must stay seed-reproducible, so a [`Recorder`] embedded
+//! in a simulator is driven by a [`SimClock`]: the simulator *sets* the
+//! clock to its own simulated time (e.g. the current hour of a
+//! [`FleetSim`] run) and every span/event is stamped with that value —
+//! two runs under the same seed produce byte-identical exports. For real
+//! profiling (per-figure wall time in `all_figures --obs`), a [`WallClock`]
+//! is injected instead; it is the single place in the workspace where
+//! wall-clock time is allowed to enter (the `cargo xtask lint` determinism
+//! rule carves out exactly this module).
+//!
+//! [`Recorder`]: crate::recorder::Recorder
+//! [`FleetSim`]: https://docs.rs/sustain-fleet
+
+use std::fmt;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use sustain_core::units::TimeSpan;
+
+/// A source of timestamps for spans and events.
+///
+/// Implementations must be cheap and thread-safe; [`ClockSource::set`] is a
+/// no-op for clocks that do not accept external time (wall clocks), so
+/// simulators can unconditionally publish their simulated time.
+pub trait ClockSource: Send + Sync + fmt::Debug {
+    /// The current time on this clock.
+    fn now(&self) -> TimeSpan;
+
+    /// Publishes an externally-driven time (simulated clocks accept it;
+    /// wall clocks ignore it).
+    fn set(&self, _to: TimeSpan) {}
+}
+
+/// A manually-driven simulated clock.
+///
+/// Starts at zero; [`ClockSource::set`] moves it (forwards or backwards —
+/// each simulation run restarts its own timeline). Deterministic by
+/// construction: it only ever reports what the simulator published.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now: Mutex<TimeSpan>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+}
+
+impl ClockSource for SimClock {
+    fn now(&self) -> TimeSpan {
+        *self.now.lock()
+    }
+
+    fn set(&self, to: TimeSpan) {
+        *self.now.lock() = to;
+    }
+}
+
+/// A monotonic wall clock reporting time elapsed since its creation.
+///
+/// The only sanctioned wall-clock source in the workspace: profiling runs
+/// inject it into an enabled recorder; simulation results never depend on
+/// it. `set` is ignored.
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a clock whose zero is "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl ClockSource for WallClock {
+    fn now(&self) -> TimeSpan {
+        TimeSpan::from(self.origin.elapsed())
+    }
+}
+
+impl fmt::Debug for WallClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WallClock")
+            .field("elapsed", &self.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_reports_exactly_what_was_set() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), TimeSpan::ZERO);
+        c.set(TimeSpan::from_hours(3.0));
+        assert_eq!(c.now(), TimeSpan::from_hours(3.0));
+        // A new run may rewind its timeline.
+        c.set(TimeSpan::ZERO);
+        assert_eq!(c.now(), TimeSpan::ZERO);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_and_ignores_set() {
+        let c = WallClock::new();
+        let a = c.now();
+        c.set(TimeSpan::from_years(100.0));
+        let b = c.now();
+        assert!(b >= a);
+        assert!(b < TimeSpan::from_years(1.0), "set must be ignored");
+    }
+
+    #[test]
+    fn clocks_are_debug() {
+        assert!(format!("{:?}", SimClock::new()).contains("SimClock"));
+        assert!(format!("{:?}", WallClock::new()).contains("WallClock"));
+    }
+}

@@ -1,0 +1,104 @@
+//! # sustain-obs
+//!
+//! Observability for the `sustainai` simulators: hierarchical spans, a
+//! thread-safe metrics registry, and deterministic exporters.
+//!
+//! The paper's core argument (§V-A) is that sustainable AI needs
+//! fleet-scale *measurement* infrastructure: every published figure is
+//! downstream of telemetry someone can inspect. Ground-truthing studies of
+//! software carbon trackers show the number alone is not enough — a tracker
+//! must expose *how* its number was produced. This crate is that exposure
+//! layer for the workspace's own simulators:
+//!
+//! * [`recorder`] — [`Obs`], a cheap cloneable handle to a [`Recorder`] that
+//!   collects hierarchical [`SpanGuard`] spans and structured events. The
+//!   default handle is disabled and allocation-free on the hot path, so
+//!   instrumented simulations are byte-identical to uninstrumented ones.
+//! * [`clock`] — the [`ClockSource`] abstraction: spans inside simulation
+//!   code are timestamped by the *simulated* clock ([`SimClock`], advanced by
+//!   the simulator itself) so exports are deterministic under a fixed seed;
+//!   a [`WallClock`] can be injected for real profiling runs.
+//! * [`metrics`] — [`Counter`] / [`Gauge`] / [`Histogram`] instruments in a
+//!   name-keyed registry; histograms use fixed log-linear buckets.
+//! * [`export`] — three deterministic renderers over one recording: a JSONL
+//!   event log, a Chrome trace-event JSON (loadable in Perfetto /
+//!   `chrome://tracing`), and a Prometheus text exposition.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use sustain_obs::ObsConfig;
+//! use sustain_core::units::TimeSpan;
+//!
+//! let obs = ObsConfig::enabled().build();
+//! obs.set_time(TimeSpan::from_secs(0.0));
+//! {
+//!     let _run = obs.span("demo.run");
+//!     obs.set_time(TimeSpan::from_secs(60.0));
+//!     obs.counter("demo_iterations_total").inc();
+//! }
+//! assert!(obs.export_chrome_trace().contains("demo.run"));
+//! assert!(obs.export_prometheus().contains("demo_iterations_total"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+pub mod clock;
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+
+pub use clock::{ClockSource, SimClock, WallClock};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use recorder::{AttrValue, EventRecord, Obs, ObsConfig, Recorder, SpanGuard};
+
+/// The process-global observability handle, used by instrumented code whose
+/// construction site has no explicit [`Obs`] injected. Defaults to the
+/// disabled handle, so nothing records (and nothing allocates) until a
+/// binary calls [`install`].
+static GLOBAL: OnceLock<RwLock<Obs>> = OnceLock::new();
+
+fn global() -> &'static RwLock<Obs> {
+    GLOBAL.get_or_init(|| RwLock::new(Obs::disabled()))
+}
+
+/// Installs `obs` as the process-global handle returned by [`handle`].
+///
+/// Intended for single-threaded binaries (e.g. `all_figures --obs <dir>`)
+/// that want every instrumented subsystem to report into one recording.
+/// Library code and tests should prefer explicit `with_obs(..)` injection,
+/// which cannot race with other tests in the same process.
+pub fn install(obs: &Obs) {
+    *global().write() = obs.clone();
+}
+
+/// The current process-global handle (the disabled handle unless a binary
+/// [`install`]ed an enabled one). Cloning is a reference-count bump.
+pub fn handle() -> Obs {
+    global().read().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_global_handle_is_disabled() {
+        // NOTE: no test in this crate may `install` a global handle — the
+        // default-disabled guarantee is exactly what this test pins down.
+        assert!(!handle().enabled());
+    }
+
+    #[test]
+    fn handle_is_cheap_to_clone() {
+        let a = handle();
+        let b = a.clone();
+        assert_eq!(a.enabled(), b.enabled());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the fixed log-linear histogram buckets: edge
+//! monotonicity, sample totality (every finite sample lands in exactly one
+//! bucket), and quantile bracketing.
+
+use proptest::prelude::*;
+
+use sustain_obs::metrics::{bucket_index, bucket_upper_edges, Histogram};
+
+#[test]
+fn bucket_edges_are_strictly_increasing_and_finite() {
+    let edges = bucket_upper_edges();
+    assert!(!edges.is_empty());
+    for pair in edges.windows(2) {
+        assert!(
+            pair[0] < pair[1],
+            "edges must strictly increase: {} !< {}",
+            pair[0],
+            pair[1]
+        );
+    }
+    for edge in edges {
+        assert!(edge.is_finite() && *edge > 0.0, "bad edge {edge}");
+    }
+}
+
+proptest! {
+    /// Totality: every finite sample maps to exactly one valid bucket index
+    /// (the overflow bucket included), and the index is consistent with the
+    /// bucket's edges: `edges[idx-1] < sample <= edges[idx]`.
+    #[test]
+    fn every_finite_sample_lands_in_exactly_one_bucket(sample in -1e12f64..1e12) {
+        let edges = bucket_upper_edges();
+        let idx = bucket_index(sample);
+        prop_assert!(idx <= edges.len(), "index {idx} out of range");
+        if idx < edges.len() {
+            prop_assert!(sample <= edges[idx], "{sample} above its edge {}", edges[idx]);
+        } else {
+            prop_assert!(sample > edges[edges.len() - 1], "{sample} not overflow");
+        }
+        if idx > 0 {
+            prop_assert!(sample > edges[idx - 1], "{sample} below bucket floor");
+        }
+    }
+
+    /// Recording n finite samples always yields bucket counts summing to n.
+    #[test]
+    fn bucket_counts_sum_to_sample_count(samples in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let h = Histogram::default();
+        for s in &samples {
+            h.record(*s);
+        }
+        let bucket_total: u64 = h.buckets().iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, samples.len() as u64);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Non-finite samples are dropped, never silently mis-bucketed.
+    #[test]
+    fn non_finite_samples_are_ignored(sample in -1e6f64..1e6) {
+        let h = Histogram::default();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        prop_assert_eq!(h.count(), 0);
+        h.record(sample);
+        prop_assert_eq!(h.count(), 1);
+    }
+
+    /// Quantile bracketing: for positive in-range samples the estimate is an
+    /// upper bound on the true quantile and lies within one bucket of it
+    /// (lower-bounded by the true quantile's bucket floor).
+    #[test]
+    fn quantile_brackets_true_quantile(
+        samples in prop::collection::vec(1e-6f64..1e9, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::default();
+        for s in &samples {
+            h.record(*s);
+        }
+        let est = h.quantile(q).expect("non-empty histogram");
+
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let truth = sorted[rank - 1];
+
+        prop_assert!(est >= truth, "estimate {est} below true quantile {truth}");
+        let edges = bucket_upper_edges();
+        let idx = bucket_index(truth);
+        let floor = if idx == 0 { 0.0 } else { edges[idx - 1] };
+        prop_assert!(est >= floor, "estimate {est} below bucket floor {floor}");
+        // Bracketing: the estimate is the true quantile's own bucket edge.
+        prop_assert!(
+            est <= edges.get(idx).copied().unwrap_or(edges[edges.len() - 1]),
+            "estimate {est} beyond the true quantile's bucket"
+        );
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantile_is_monotone_in_q(samples in prop::collection::vec(1e-6f64..1e9, 1..100)) {
+        let h = Histogram::default();
+        for s in &samples {
+            h.record(*s);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let ests: Vec<f64> = qs
+            .iter()
+            .map(|q| h.quantile(*q).expect("non-empty"))
+            .collect();
+        for pair in ests.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles not monotone: {ests:?}");
+        }
+    }
+}

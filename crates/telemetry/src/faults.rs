@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use sustain_core::quality::{FaultCounts, FaultKind};
 use sustain_core::stats::{Normal, Sampler};
 use sustain_core::units::{Energy, Fraction, Power, TimeSpan};
+use sustain_obs::Obs;
 
 /// How a reader back-fills energy across a gap in the sample stream.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -237,6 +238,37 @@ pub struct FaultInjector {
     stuck_remaining: u32,
     last_reported: Option<Power>,
     counts: FaultCounts,
+    obs: Obs,
+}
+
+/// Static label for a fault class, used as a structured event attribute and
+/// a per-kind counter suffix.
+fn kind_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Dropout => "dropout",
+        FaultKind::CounterWrap => "counter_wrap",
+        FaultKind::ReadTimeout => "read_timeout",
+        FaultKind::StuckCounter => "stuck_counter",
+        FaultKind::ClockSkew => "clock_skew",
+        FaultKind::NoiseBurst => "noise_burst",
+        FaultKind::HostCrash => "host_crash",
+        // `FaultKind` is non-exhaustive; a future class keeps compiling.
+        _ => "other",
+    }
+}
+
+/// Per-kind counter name (static, one per [`FaultKind`] variant).
+fn kind_counter(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Dropout => "telemetry_faults_dropout_total",
+        FaultKind::CounterWrap => "telemetry_faults_counter_wrap_total",
+        FaultKind::ReadTimeout => "telemetry_faults_read_timeout_total",
+        FaultKind::StuckCounter => "telemetry_faults_stuck_counter_total",
+        FaultKind::ClockSkew => "telemetry_faults_clock_skew_total",
+        FaultKind::NoiseBurst => "telemetry_faults_noise_burst_total",
+        FaultKind::HostCrash => "telemetry_faults_host_crash_total",
+        _ => "telemetry_faults_other_total",
+    }
 }
 
 impl FaultInjector {
@@ -248,6 +280,31 @@ impl FaultInjector {
             stuck_remaining: 0,
             last_reported: None,
             counts: FaultCounts::default(),
+            obs: sustain_obs::handle(),
+        }
+    }
+
+    /// Replaces the observability handle captured at construction. Every
+    /// injected fault then emits a structured `telemetry.fault` event (with
+    /// its class as an attribute) and bumps a per-kind counter.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> FaultInjector {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Tallies one injected fault and reports it through the obs handle.
+    fn record_fault(&mut self, kind: FaultKind, at: TimeSpan) {
+        self.counts.record(kind);
+        if self.obs.enabled() {
+            self.obs.event(
+                "telemetry.fault",
+                &[
+                    ("kind", kind_label(kind).into()),
+                    ("at_s", at.as_secs().into()),
+                ],
+            );
+            self.obs.counter(kind_counter(kind)).inc();
         }
     }
 
@@ -281,11 +338,11 @@ impl FaultInjector {
             return Some((at, truth));
         }
         if self.hit(self.plan.dropout) {
-            self.counts.record(FaultKind::Dropout);
+            self.record_fault(FaultKind::Dropout, at);
             return None;
         }
         if self.hit(self.plan.timeout) {
-            self.counts.record(FaultKind::ReadTimeout);
+            self.record_fault(FaultKind::ReadTimeout, at);
             return None;
         }
 
@@ -293,12 +350,12 @@ impl FaultInjector {
         if self.stuck_remaining > 0 {
             self.stuck_remaining -= 1;
             power = self.last_reported.unwrap_or(truth);
-            self.counts.record(FaultKind::StuckCounter);
+            self.record_fault(FaultKind::StuckCounter, at);
         } else if self.plan.stuck_len > 0 && self.hit(self.plan.stuck) {
             // The *current* read already returns the stale value.
             self.stuck_remaining = self.plan.stuck_len.saturating_sub(1);
             power = self.last_reported.unwrap_or(truth);
-            self.counts.record(FaultKind::StuckCounter);
+            self.record_fault(FaultKind::StuckCounter, at);
         }
 
         if self.hit(self.plan.noise_burst) && self.plan.noise_burst_std > Power::ZERO {
@@ -307,7 +364,7 @@ impl FaultInjector {
                 .expect("noise std validated in with_noise_burst")
                 .sample(&mut self.rng);
             power = Power::from_watts((power.as_watts() + noise).max(0.0));
-            self.counts.record(FaultKind::NoiseBurst);
+            self.record_fault(FaultKind::NoiseBurst, at);
         }
 
         let mut t = at;
@@ -317,7 +374,7 @@ impl FaultInjector {
             if t < TimeSpan::ZERO {
                 t = TimeSpan::ZERO;
             }
-            self.counts.record(FaultKind::ClockSkew);
+            self.record_fault(FaultKind::ClockSkew, at);
         }
 
         self.last_reported = Some(power);

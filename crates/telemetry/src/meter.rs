@@ -10,6 +10,7 @@
 
 use sustain_core::quality::{DataQualityReport, FaultCounts};
 use sustain_core::units::{Energy, Fraction, Power, TimeSpan};
+use sustain_obs::Obs;
 
 use crate::device::PowerModel;
 use crate::faults::ImputationPolicy;
@@ -164,6 +165,19 @@ impl FaultTolerantIntegrator {
     /// samples are ignored and the method returns `false`; every call still
     /// counts one expected tick.
     pub fn push(&mut self, at: TimeSpan, sample: Option<Power>) -> bool {
+        self.push_inner(at, sample, None)
+    }
+
+    /// [`FaultTolerantIntegrator::push`] with observability: every gap the
+    /// integrator decides to bridge emits a structured `meter.imputed_gap`
+    /// event (gap width, imputed energy, policy) and bumps a counter through
+    /// `obs`. The integrator stays `Copy`, so the handle is borrowed per call
+    /// rather than stored.
+    pub fn push_traced(&mut self, at: TimeSpan, sample: Option<Power>, obs: &Obs) -> bool {
+        self.push_inner(at, sample, Some(obs))
+    }
+
+    fn push_inner(&mut self, at: TimeSpan, sample: Option<Power>, obs: Option<&Obs>) -> bool {
         self.expected += 1;
         let Some(power) = sample else {
             return true;
@@ -177,11 +191,25 @@ impl FaultTolerantIntegrator {
             let segment = (p0 + power) * 0.5 * dt;
             if dt > gap_limit {
                 // Missing samples in between: charge the bridge to imputation.
-                self.imputed += match self.policy {
-                    ImputationPolicy::Linear => segment,
-                    ImputationPolicy::LastObservation => p0 * dt,
-                    ImputationPolicy::ModelBased { assumed } => assumed * dt,
+                let (bridged, policy_label) = match self.policy {
+                    ImputationPolicy::Linear => (segment, "linear"),
+                    ImputationPolicy::LastObservation => (p0 * dt, "last_observation"),
+                    ImputationPolicy::ModelBased { assumed } => (assumed * dt, "model_based"),
                 };
+                self.imputed += bridged;
+                if let Some(obs) = obs.filter(|o| o.enabled()) {
+                    obs.event(
+                        "meter.imputed_gap",
+                        &[
+                            ("gap_s", dt.as_secs().into()),
+                            ("imputed_j", bridged.as_joules().into()),
+                            ("policy", policy_label.into()),
+                        ],
+                    );
+                    obs.counter("meter_imputed_gaps_total").inc();
+                    obs.counter("meter_imputed_energy_joules_total")
+                        .add(bridged.as_joules());
+                }
             } else {
                 self.measured += segment;
             }

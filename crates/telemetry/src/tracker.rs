@@ -19,6 +19,7 @@ use sustain_core::lifecycle::{Breakdown, MlPhase};
 use sustain_core::operational::OperationalAccount;
 use sustain_core::quality::DataQualityReport;
 use sustain_core::units::{Co2e, Energy, Power, TimeSpan};
+use sustain_obs::Obs;
 
 #[derive(Debug, Default)]
 struct TrackerState {
@@ -57,6 +58,7 @@ pub struct CarbonTracker {
     account: OperationalAccount,
     embodied: Option<(EmbodiedModel, AllocationPolicy)>,
     state: Mutex<TrackerState>,
+    obs: Obs,
 }
 
 impl fmt::Debug for CarbonTracker {
@@ -78,7 +80,17 @@ impl CarbonTracker {
             account,
             embodied: None,
             state: Mutex::new(TrackerState::default()),
+            obs: sustain_obs::handle(),
         }
+    }
+
+    /// Replaces the observability handle captured at construction (the
+    /// process-global handle, disabled by default). Recorded energy and
+    /// report rendering then show up as tracker counters and spans.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> CarbonTracker {
+        self.obs = obs.clone();
+        self
     }
 
     /// Enables embodied-carbon amortization: machine time recorded with
@@ -100,11 +112,19 @@ impl CarbonTracker {
 
     /// Records an energy consumption against a named source and phase.
     pub fn record_energy(&self, source: &str, phase: MlPhase, energy: Energy) {
-        let mut st = self.state.lock();
-        *st.energy_by_source
-            .entry(source.to_owned())
-            .or_insert(Energy::ZERO) += energy;
-        st.energy_by_phase[phase] += energy;
+        {
+            let mut st = self.state.lock();
+            *st.energy_by_source
+                .entry(source.to_owned())
+                .or_insert(Energy::ZERO) += energy;
+            st.energy_by_phase[phase] += energy;
+        }
+        if self.obs.enabled() {
+            self.obs.counter("tracker_records_total").inc();
+            self.obs
+                .counter("tracker_energy_joules_total")
+                .add(energy.as_joules());
+        }
     }
 
     /// Records a constant power draw over a duration.
@@ -167,6 +187,7 @@ impl CarbonTracker {
     /// Renders the current totals as a [`FootprintReport`]. The report
     /// carries a quality section only when quality was recorded.
     pub fn report(&self, basis: AccountingBasis) -> FootprintReport {
+        let _span = self.obs.span("tracker.report");
         let (total, by_phase, quality) = {
             let st = self.state.lock();
             (

@@ -11,7 +11,7 @@ use crate::sanitize::{is_ident_char, LineView};
 use crate::{Diagnostic, FileClass, Rule};
 
 /// Crates whose simulations must stay seed-reproducible (rule 4).
-const SIM_CRATES: &[&str] = &["fleet", "edge", "telemetry"];
+const SIM_CRATES: &[&str] = &["fleet", "edge", "telemetry", "obs"];
 
 /// Module stems allowed to hold bare physical constants (rule 5).
 const CONSTANT_MODULES: &[&str] = &["constants", "oss", "units"];
@@ -264,6 +264,12 @@ pub(crate) fn scan(class: &FileClass, lines: &[LineView]) -> Vec<Diagnostic> {
                 .is_some_and(|c| SIM_CRATES.contains(&c))
         {
             for (pat, fix) in NONDETERMINISM {
+                if *pat == "Instant::now" && wall_clock_module(class) {
+                    // The one sanctioned wall-clock site: sustain-obs's
+                    // `ClockSource` implementations. Everything else must
+                    // inject time through that trait.
+                    continue;
+                }
                 if has_word(code, pat) {
                     push(
                         Rule::Determinism,
@@ -290,6 +296,14 @@ pub(crate) fn scan(class: &FileClass, lines: &[LineView]) -> Vec<Diagnostic> {
     }
 
     diags
+}
+
+/// True for the one module allowed to read the wall clock (rule 4
+/// carve-out): `crates/obs/src/clock.rs`, where `WallClock` implements
+/// `ClockSource`. Exports stay deterministic because simulations use
+/// `SimClock`; the wall clock exists only for real profiling runs.
+fn wall_clock_module(class: &FileClass) -> bool {
+    class.crate_name.as_deref() == Some("obs") && class.stem == "clock"
 }
 
 // ---------------------------------------------------------------------------

@@ -153,6 +153,41 @@ fn determinism_not_enforced_outside_sim_crates() {
 }
 
 #[test]
+fn determinism_enforced_in_obs_crate() {
+    let src = "fn f() { let _r = rand::thread_rng(); }\n";
+    let hits = rules_hit("crates/obs/src/recorder.rs", src);
+    assert!(hits.contains(&Rule::Determinism), "got {hits:?}");
+}
+
+#[test]
+fn determinism_permits_wall_clock_only_in_obs_clock_module() {
+    // The sanctioned site: `WallClock::now` in sustain-obs's clock module.
+    assert_clean(
+        "crates/obs/src/clock.rs",
+        "fn now_wall() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    // The carve-out is for the wall clock only; other nondeterminism in the
+    // clock module is still flagged.
+    let hits = rules_hit(
+        "crates/obs/src/clock.rs",
+        "fn f() { let _r = rand::thread_rng(); }\n",
+    );
+    assert!(hits.contains(&Rule::Determinism), "got {hits:?}");
+    // And `Instant::now` anywhere else in sustain-obs is still flagged.
+    let hits = rules_hit(
+        "crates/obs/src/recorder.rs",
+        "fn f() { let _t = std::time::Instant::now(); }\n",
+    );
+    assert!(hits.contains(&Rule::Determinism), "got {hits:?}");
+    // Other simulation crates never get the carve-out.
+    let hits = rules_hit(
+        "crates/fleet/src/clock.rs",
+        "fn f() { let _t = std::time::Instant::now(); }\n",
+    );
+    assert!(hits.contains(&Rule::Determinism), "got {hits:?}");
+}
+
+#[test]
 fn determinism_allow_silences() {
     let src = "// lint:allow(determinism) diagnostics only, not part of results\n\
                use std::collections::HashMap;\n";

@@ -13,6 +13,8 @@
 //! * [`fleet`] — datacenter fleet simulation and carbon-aware scheduling.
 //! * [`optim`] — the optimization-pass framework (caching, quantization, …).
 //! * [`edge`] — federated-learning and on-device carbon simulation.
+//! * [`obs`] — hierarchical spans, a metrics registry, and deterministic
+//!   trace/metrics exporters across the simulators.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@
 pub use sustain_core as core;
 pub use sustain_edge as edge;
 pub use sustain_fleet as fleet;
+pub use sustain_obs as obs;
 pub use sustain_optim as optim;
 pub use sustain_telemetry as telemetry;
 pub use sustain_workload as workload;
