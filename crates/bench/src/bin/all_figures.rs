@@ -1,10 +1,15 @@
 //! Prints every reproduced figure/experiment table in paper order.
 //!
+//! Figures fan out on the deterministic `sustain-par` pool; `--threads <n>`
+//! (or `SUSTAIN_THREADS`) picks the worker count and stdout is byte-identical
+//! for any choice, including 1.
+//!
 //! With `--obs <dir>` the run is additionally profiled through `sustain-obs`
 //! on a wall clock: every figure regenerator records a `figure.<name>` span,
-//! the instrumented simulators (fleet phases, chaos, telemetry faults,
-//! gap imputation, FL rounds, carbon tracker) report through the same
-//! recorder, and three exports land in `<dir>`:
+//! each pool task a `par.task` span, the instrumented simulators (fleet
+//! phases, chaos, telemetry faults, gap imputation, FL rounds, carbon
+//! tracker) report through the same recorder, and three exports land in
+//! `<dir>`:
 //!
 //! * `events.jsonl` — the structured event log,
 //! * `trace.json` — Chrome trace-event JSON (open in Perfetto),
@@ -18,17 +23,26 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use sustain_obs::{Obs, ObsConfig};
+use sustain_par::ParPool;
+
+struct Args {
+    obs_dir: Option<PathBuf>,
+    threads: Option<usize>,
+}
 
 fn main() -> ExitCode {
-    let obs_dir = match parse_args() {
-        Ok(dir) => dir,
+    let args = match parse_args() {
+        Ok(args) => args,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: all_figures [--obs <dir>]");
+            eprintln!("usage: all_figures [--obs <dir>] [--threads <n>]");
             return ExitCode::FAILURE;
         }
     };
-    let Some(dir) = obs_dir else {
+    if let Some(threads) = args.threads {
+        ParPool::set_threads(threads);
+    }
+    let Some(dir) = args.obs_dir else {
         for table in sustain_bench::figs::all() {
             println!("{table}");
         }
@@ -42,36 +56,62 @@ fn main() -> ExitCode {
     }
     coverage_sweep();
 
+    // Every traced regenerator bumps `figures_generated_total` exactly once,
+    // and pool-task forks share the parent registry — so after the sweep the
+    // counter must equal the full catalogue, whatever the thread count.
+    let expected = (sustain_bench::figs::FIGURES.len()
+        + sustain_bench::figs::extras::TABLES.len()
+        + sustain_bench::figs::extensions::TABLES.len()
+        + sustain_bench::figs::faults::TABLES.len()) as f64;
+    let generated = obs.counter("figures_generated_total").value();
+    assert!(
+        (generated - expected).abs() < 0.5,
+        "figures_generated_total = {generated}, expected {expected}: \
+         a figure was skipped or double-counted under the pool"
+    );
+
     if let Err(err) = write_exports(&obs, &dir) {
         eprintln!("all_figures: failed to write obs exports: {err}");
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "all_figures: wrote {} records and {} instruments to {}",
+        "all_figures: wrote {} records and {} instruments to {} ({} figures, {} pool threads)",
         obs.event_count(),
         obs.registry().len(),
-        dir.display()
+        dir.display(),
+        generated,
+        ParPool::current().threads(),
     );
     ExitCode::SUCCESS
 }
 
-fn parse_args() -> Result<Option<PathBuf>, String> {
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        obs_dir: None,
+        threads: None,
+    };
     let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        None => Ok(None),
-        Some("--obs") => match args.next() {
-            Some(dir) if args.next().is_none() => Ok(Some(PathBuf::from(dir))),
-            Some(_) => Err("unexpected extra argument after --obs <dir>".to_string()),
-            None => Err("--obs requires an output directory".to_string()),
-        },
-        Some(other) => Err(format!("unknown argument `{other}`")),
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--obs" => match args.next() {
+                Some(dir) => parsed.obs_dir = Some(PathBuf::from(dir)),
+                None => return Err("--obs requires an output directory".to_string()),
+            },
+            "--threads" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => parsed.threads = Some(n),
+                _ => return Err("--threads requires a positive integer".to_string()),
+            },
+            other => return Err(format!("unknown argument `{other}`")),
+        }
     }
+    Ok(parsed)
 }
 
 /// Exercises the instrumented subsystems the printed figures do not reach
 /// (the robustness tables live in the separate `fig_faults` binary, and no
 /// paper figure builds a `CarbonTracker`), so the exports cover the whole
-/// instrumented surface. Nothing is printed: stdout stays byte-identical.
+/// instrumented surface. Runs under the same pool as the figures. Nothing
+/// is printed: stdout stays byte-identical.
 fn coverage_sweep() {
     use sustain_core::intensity::{AccountingBasis, CarbonIntensity};
     use sustain_core::lifecycle::MlPhase;
@@ -80,7 +120,8 @@ fn coverage_sweep() {
     use sustain_core::units::{Energy, TimeSpan};
     use sustain_telemetry::tracker::CarbonTracker;
 
-    // Fleet phases, chaos recovery, fault injection, and gap imputation.
+    // Fleet phases, chaos recovery, Monte Carlo replicas, fault injection,
+    // and gap imputation — fanned out on the pool like the paper figures.
     for table in sustain_bench::figs::faults::all() {
         let _ = table.to_string();
     }

@@ -1,0 +1,194 @@
+//! The repo's first perf-trajectory harness: times the full figure fan-out
+//! and each paper figure at 1 thread and at P threads, and writes
+//! `BENCH_par.json`.
+//!
+//! Wall time comes from `sustain_obs::WallClock` — the workspace's one
+//! sanctioned wall-clock source. Timing never touches figure *content*:
+//! the `sustain-par` determinism contract guarantees every table is
+//! byte-identical at any thread count, so this binary only measures how
+//! long the identical bytes take to produce.
+//!
+//! ```text
+//! usage: bench_suite [--quick] [--reps <n>] [--threads <p>] [--out <path>]
+//! ```
+//!
+//! * `--quick` — one rep, fan-out only (CI smoke mode).
+//! * `--reps <n>` — samples per measurement (default 3).
+//! * `--threads <p>` — the "parallel" thread count (default: the pool's
+//!   current default, i.e. `SUSTAIN_THREADS` or available parallelism).
+//! * `--out <path>` — output path (default `BENCH_par.json`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sustain_bench::figs;
+use sustain_obs::{ClockSource, WallClock};
+use sustain_par::ParPool;
+
+struct Args {
+    quick: bool,
+    reps: usize,
+    threads: usize,
+    out: PathBuf,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: bench_suite [--quick] [--reps <n>] [--threads <p>] [--out <path>]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "bench_suite: reps={} threads=1 vs {} (available parallelism {}){}",
+        args.reps,
+        args.threads,
+        hardware,
+        if args.quick { " [quick]" } else { "" }
+    );
+
+    // Warm-up: touch every code path once so the first sample is not
+    // paying one-time costs the others do not.
+    run_fanout(args.threads);
+
+    let serial = sample(args.reps, || run_fanout(1));
+    let parallel = sample(args.reps, || run_fanout(args.threads));
+    let speedup = median(&serial) / median(&parallel).max(f64::MIN_POSITIVE);
+    let tables = figs::all().len();
+    println!(
+        "fan-out ({tables} tables): 1 thread median {:.1} ms, {} threads median {:.1} ms -> {:.2}x",
+        median(&serial),
+        args.threads,
+        median(&parallel),
+        speedup
+    );
+
+    let mut figures_json = Vec::new();
+    if !args.quick {
+        for (name, generate) in figs::FIGURES {
+            let serial_fig = sample(args.reps, || {
+                ParPool::set_threads(1);
+                let _ = generate();
+            });
+            let parallel_fig = sample(args.reps, || {
+                ParPool::set_threads(args.threads);
+                let _ = generate();
+            });
+            ParPool::set_threads(0);
+            println!(
+                "  {name}: 1 thread median {:.1} ms, {} threads median {:.1} ms",
+                median(&serial_fig),
+                args.threads,
+                median(&parallel_fig)
+            );
+            figures_json.push(format!(
+                "    {{\"name\": \"{name}\", \"serial\": {}, \"parallel\": {}}}",
+                stat_json(&serial_fig),
+                stat_json(&parallel_fig)
+            ));
+        }
+    }
+
+    let figures_block = if figures_json.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n  ]", figures_json.join(",\n"))
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"par_fanout\",\n  \"reps\": {},\n  \"threads\": {},\n  \
+         \"available_parallelism\": {},\n  \"quick\": {},\n  \"fanout\": {{\n    \
+         \"tables\": {},\n    \"serial\": {},\n    \"parallel\": {},\n    \
+         \"speedup_median\": {:.3}\n  }},\n  \"figures\": {}\n}}\n",
+        args.reps,
+        args.threads,
+        hardware,
+        args.quick,
+        tables,
+        stat_json(&serial),
+        stat_json(&parallel),
+        speedup,
+        figures_block
+    );
+    if let Err(err) = std::fs::write(&args.out, json) {
+        eprintln!("bench_suite: failed to write {}: {err}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("bench_suite: wrote {}", args.out.display());
+    ExitCode::SUCCESS
+}
+
+/// One full figure fan-out (the same 26 tables `all_figures` prints) on a
+/// pool with exactly `threads` workers.
+fn run_fanout(threads: usize) {
+    for table in figs::all_with_pool(&ParPool::new(threads)) {
+        let _ = table.to_string();
+    }
+}
+
+/// `reps` wall-time samples of `f`, in milliseconds.
+fn sample(reps: usize, f: impl Fn()) -> Vec<f64> {
+    (0..reps.max(1))
+        .map(|_| {
+            let clock = WallClock::new();
+            f();
+            clock.now().as_secs() * 1e3
+        })
+        .collect()
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted[sorted.len() / 2]
+}
+
+fn min(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn stat_json(samples: &[f64]) -> String {
+    let rendered: Vec<String> = samples.iter().map(|s| format!("{s:.3}")).collect();
+    format!(
+        "{{\"median_ms\": {:.3}, \"min_ms\": {:.3}, \"samples_ms\": [{}]}}",
+        median(samples),
+        min(samples),
+        rendered.join(", ")
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        quick: false,
+        reps: 3,
+        threads: ParPool::current().threads(),
+        out: PathBuf::from("BENCH_par.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                parsed.quick = true;
+                parsed.reps = 1;
+            }
+            "--reps" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => parsed.reps = n,
+                _ => return Err("--reps requires a positive integer".to_string()),
+            },
+            "--threads" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => parsed.threads = n,
+                _ => return Err("--threads requires a positive integer".to_string()),
+            },
+            "--out" => match args.next() {
+                Some(path) => parsed.out = PathBuf::from(path),
+                None => return Err("--out requires a path".to_string()),
+            },
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(parsed)
+}

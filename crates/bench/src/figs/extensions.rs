@@ -32,12 +32,11 @@ pub const TABLES: &[super::NamedFigure] = &[
     ("figure.ext_data_pipeline", data_pipeline),
 ];
 
-/// All extension tables.
+/// All extension tables, fanned out on the current pool.
 pub fn all() -> Vec<Table> {
-    TABLES
-        .iter()
-        .map(|(name, generate)| super::traced(name, *generate))
-        .collect()
+    sustain_par::ParPool::current().map_indexed(TABLES.to_vec(), |_, (name, generate)| {
+        super::traced(name, generate)
+    })
 }
 
 /// §IV-C: follow-the-sun placement across three timezone-shifted regions.

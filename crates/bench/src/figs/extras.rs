@@ -28,12 +28,11 @@ pub const TABLES: &[super::NamedFigure] = &[
     ("figure.extras_experimentation", experimentation),
 ];
 
-/// All extra experiment tables.
+/// All extra experiment tables, fanned out on the current pool.
 pub fn all() -> Vec<Table> {
-    TABLES
-        .iter()
-        .map(|(name, generate)| super::traced(name, *generate))
-        .collect()
+    sustain_par::ParPool::current().map_indexed(TABLES.to_vec(), |_, (name, generate)| {
+        super::traced(name, generate)
+    })
 }
 
 /// §II-A / §IV-B: experimentation campaigns and early stopping.

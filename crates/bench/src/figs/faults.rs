@@ -13,8 +13,9 @@ use sustain_fleet::chaos::ChaosConfig;
 use sustain_fleet::cluster::Cluster;
 use sustain_fleet::datacenter::DataCenter;
 use sustain_fleet::scheduler::IntensitySeries;
-use sustain_fleet::sim::{FleetSim, FleetSimReport};
+use sustain_fleet::sim::{FleetSim, FleetSimReport, ReplicaSummary};
 use sustain_fleet::utilization::UtilizationModel;
+use sustain_par::ParPool;
 use sustain_telemetry::device::DeviceSpec;
 use sustain_telemetry::estimation::{validate_estimator, EstimationMethod};
 use sustain_telemetry::faults::{FaultInjector, FaultPlan, ImputationPolicy};
@@ -31,12 +32,13 @@ pub const TABLES: &[super::NamedFigure] = &[
     ("figure.faults_renewable_gaps", renewable_gaps),
 ];
 
-/// All robustness tables, in narrative order.
+/// All robustness tables, in narrative order, fanned out on the current
+/// pool (each table additionally parallelizes its own sweep; nested pools
+/// degrade to one worker, so this never oversubscribes).
 pub fn all() -> Vec<Table> {
-    TABLES
-        .iter()
-        .map(|(name, generate)| super::traced(name, *generate))
-        .collect()
+    ParPool::current().map_indexed(TABLES.to_vec(), |_, (name, generate)| {
+        super::traced(name, generate)
+    })
 }
 
 /// One day of minutely samples from a smooth synthetic load curve.
@@ -79,8 +81,9 @@ pub fn telemetry_fault_sweep() -> Table {
         &["fault rate", "coverage", "imputed share", "faults", "error"],
     );
     let rates = [0.0, 0.01, 0.05, 0.10, 0.20, 0.40];
-    let mut errors = Vec::new();
-    for rate in rates {
+    // One fault rate per pool task: each task owns its injector and meter,
+    // and the ordered join keeps rows in sweep order.
+    let swept = ParPool::current().map_indexed(rates.to_vec(), |_, rate| {
         let mut inj = FaultInjector::new(&scaled_plan(rate), "fig-faults");
         let mut meter = FaultTolerantIntegrator::new(interval, ImputationPolicy::Linear);
         for (i, p) in samples.iter().enumerate() {
@@ -93,14 +96,19 @@ pub fn telemetry_fault_sweep() -> Table {
         meter.merge_faults(&inj.counts());
         let q = meter.report();
         let error = q.accounted_energy() / truth_energy - 1.0;
-        errors.push((rate, error));
-        table.row(&[
+        let row = vec![
             format!("{:.0}%", rate * 100.0),
             format!("{:.1}%", q.coverage().as_percent()),
             format!("{:.1}%", q.imputed_share().as_percent()),
             q.faults.total().to_string(),
             format!("{:+.2}%", error * 100.0),
-        ]);
+        ];
+        (row, (rate, error))
+    });
+    let mut errors = Vec::new();
+    for (row, rate_error) in swept {
+        table.row(&row);
+        errors.push(rate_error);
     }
 
     // The unmetered alternative from the SV-A estimator table: how badly
@@ -163,11 +171,20 @@ fn fleet_row(name: &str, r: &FleetSimReport) -> Vec<String> {
 
 /// Appendix B: crash/SDC recovery as real extra energy and carbon.
 pub fn chaos_fleet() -> Table {
-    let plain = fleet().run(&mut StdRng::seed_from_u64(SEED));
-    let chaos = fleet().run_with_chaos(
-        &mut StdRng::seed_from_u64(SEED),
-        &ChaosConfig::datacenter_default(),
-    );
+    // The undisturbed and chaos baselines are independent whole sims — run
+    // them as two pool tasks.
+    let mut runs = ParPool::current().map_indexed(vec![false, true], |_, chaos_on| {
+        let mut rng = StdRng::seed_from_u64(SEED);
+        if chaos_on {
+            fleet().run_with_chaos(&mut rng, &ChaosConfig::datacenter_default())
+        } else {
+            fleet().run(&mut rng)
+        }
+    });
+    let chaos = runs.pop().expect("chaos run");
+    let plain = runs.pop().expect("undisturbed run");
+    let replicas = fleet().run_replicas_with_chaos(8, SEED, &ChaosConfig::datacenter_default());
+    let summary = ReplicaSummary::from_reports(&replicas).expect("eight replicas");
     let mut table = Table::new(
         "Appendix B: fleet chaos harness (20 servers, 30 days, OPT-logbook failure rates)",
         &[
@@ -182,6 +199,19 @@ pub fn chaos_fleet() -> Table {
     );
     table.row(&fleet_row("undisturbed", &plain));
     table.row(&fleet_row("chaos", &chaos));
+    table.row(&[
+        "chaos x8 replicas (mean)".into(),
+        summary.mean_it_energy.to_string(),
+        summary.mean_operational_location.to_string(),
+        num(summary.mean_recomputed_gpu_hours, 0),
+        summary.total_host_crashes.to_string(),
+        summary.total_sdc_events.to_string(),
+        "n/a".into(),
+    ]);
+    table.claim(format!(
+        "8-replica Monte Carlo (ParPool): IT energy spread {} .. {}",
+        summary.min_it_energy, summary.max_it_energy
+    ));
     table.claim(format!(
         "recovery recomputes {:.0} gpu-hours: {:+.1}% energy vs the undisturbed run",
         chaos.recomputed_gpu_hours,
@@ -205,16 +235,20 @@ pub fn renewable_gaps() -> Table {
         "SIV-C: intensity-feed gaps vs market-based accounting (solar day, 30 days)",
         &["gap rate", "gap hours", "market co2", "location co2"],
     );
-    for rate in [0.0, 0.02, 0.10, 0.30] {
+    // One gap rate per pool task; the ordered join keeps sweep order.
+    let rows = ParPool::current().map_indexed(vec![0.0, 0.02, 0.10, 0.30], |_, rate| {
         let chaos = ChaosConfig::none().with_intensity_gap(Fraction::saturating(rate));
         let r =
             fleet().run_with_chaos_and_intensity(&mut StdRng::seed_from_u64(SEED), &series, &chaos);
-        table.row(&[
+        vec![
             format!("{:.0}%", rate * 100.0),
             r.intensity_gap_hours.to_string(),
             r.operational_market.to_string(),
             r.operational_location.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(&row);
     }
     table.claim(
         "hours the feed cannot prove renewable-matched fall back to location-based accounting",
@@ -263,10 +297,19 @@ mod tests {
     #[test]
     fn chaos_burns_more_energy_than_undisturbed() {
         let t = chaos_fleet();
-        assert_eq!(t.rows().len(), 2);
-        assert!(t.claims()[0].contains('%'));
+        assert_eq!(t.rows().len(), 3);
+        assert!(t.claims().iter().any(|c| c.contains('%')));
         // The chaos row records crash and SDC events.
         assert_ne!(t.rows()[1][4], "0");
+        // The Monte Carlo row aggregates eight chaos replicas.
+        let replicas = &t.rows()[2];
+        assert!(replicas[0].contains("x8 replicas"));
+        let total_crashes: u64 = replicas[4].parse().expect("crash total cell");
+        let single_crashes: u64 = t.rows()[1][4].parse().expect("crash cell");
+        assert!(
+            total_crashes > single_crashes,
+            "8 replicas sum more crashes"
+        );
     }
 
     #[test]

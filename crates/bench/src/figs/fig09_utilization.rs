@@ -7,6 +7,7 @@ use sustain_core::operational::OperationalAccount;
 use sustain_core::pue::Pue;
 use sustain_core::units::{Fraction, TimeSpan};
 use sustain_fleet::utilization::UtilizationSweep;
+use sustain_par::ParPool;
 use sustain_telemetry::device::DeviceSpec;
 
 use crate::table::{num, Table};
@@ -41,7 +42,12 @@ pub fn generate() -> Table {
             "cfe emb share",
         ],
     );
-    for p in sweep.over(&UTILIZATIONS) {
+    // One sweep point per pool task; the join preserves grid order, so the
+    // table is byte-identical to the serial `sweep.over(..)` path.
+    let points = ParPool::current().map_indexed(UTILIZATIONS.to_vec(), |_, u| {
+        sweep.at(Fraction::saturating(u))
+    });
+    for p in points {
         table.row(&[
             format!("{:.0}%", p.utilization.as_percent()),
             num(p.grid.operational().as_tonnes(), 2),

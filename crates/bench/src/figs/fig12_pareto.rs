@@ -2,6 +2,7 @@
 //! yellow/green stars.
 
 use sustain_optim::pareto::{pareto_frontier, Candidate};
+use sustain_par::ParPool;
 use sustain_workload::scaling::RecsysScalingLaw;
 
 use crate::table::{num, Table};
@@ -23,7 +24,13 @@ pub fn generate() -> Table {
         ],
     );
 
-    let points = law.grid(&SCALES, &SCALES);
+    // One grid point per pool task, flattened data-outer/model-inner so the
+    // submission-order join reproduces `law.grid(..)` exactly.
+    let pairs: Vec<(f64, f64)> = SCALES
+        .iter()
+        .flat_map(|&d| SCALES.iter().map(move |&m| (d, m)))
+        .collect();
+    let points = ParPool::current().map_indexed(pairs, |_, (d, m)| law.point(d, m));
     let candidates: Vec<Candidate> = points
         .iter()
         .enumerate()

@@ -19,6 +19,8 @@ pub mod fig10_histogram;
 pub mod fig11_federated;
 pub mod fig12_pareto;
 
+use sustain_par::ParPool;
+
 use crate::table::Table;
 
 /// A named regenerator: the obs span name and the function producing the
@@ -55,19 +57,29 @@ pub(crate) fn traced(name: &'static str, generate: fn() -> Table) -> Table {
     table
 }
 
-/// Generates every figure's table, in paper order.
+/// Generates every figure's table, in paper order, fanned out on
+/// [`ParPool::current`] (one figure per task).
 ///
 /// The robustness tables in [`faults`] are deliberately excluded: they are
 /// printed by the separate `fig_faults` binary so the paper-figure outputs
 /// stay byte-identical.
 pub fn all() -> Vec<Table> {
-    let mut tables: Vec<Table> = FIGURES
+    all_with_pool(&ParPool::current())
+}
+
+/// [`all`] on an explicit pool. Tables come back in submission (= paper)
+/// order whatever the thread count, and each figure's spans are adopted
+/// back into the calling thread's obs recording in that same order — the
+/// parallelism is invisible in every output byte except the `worker`
+/// attribute on `par.task` events.
+pub fn all_with_pool(pool: &ParPool) -> Vec<Table> {
+    let figures: Vec<NamedFigure> = FIGURES
         .iter()
-        .map(|(name, generate)| traced(name, *generate))
+        .chain(extras::TABLES)
+        .chain(extensions::TABLES)
+        .copied()
         .collect();
-    tables.extend(extras::all());
-    tables.extend(extensions::all());
-    tables
+    pool.map_indexed(figures, |_, (name, generate)| traced(name, generate))
 }
 
 #[cfg(test)]

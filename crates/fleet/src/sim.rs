@@ -94,6 +94,59 @@ impl FleetSimReport {
     }
 }
 
+/// Deterministic reduction of a batch of replica reports: every statistic
+/// is a fold over the reports in replica order, so the summary is as
+/// thread-count-independent as the replicas themselves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaSummary {
+    /// Number of replicas reduced.
+    pub replicas: u64,
+    /// Mean IT energy across replicas.
+    pub mean_it_energy: Energy,
+    /// Lowest replica IT energy.
+    pub min_it_energy: Energy,
+    /// Highest replica IT energy.
+    pub max_it_energy: Energy,
+    /// Mean location-based operational emissions across replicas.
+    pub mean_operational_location: Co2e,
+    /// Mean jobs completed across replicas.
+    pub mean_jobs_completed: f64,
+    /// Mean GPU-hours recomputed after crashes/SDC re-runs.
+    pub mean_recomputed_gpu_hours: f64,
+    /// Host crashes summed over every replica.
+    pub total_host_crashes: u64,
+    /// SDC events summed over every replica.
+    pub total_sdc_events: u64,
+}
+
+impl ReplicaSummary {
+    /// Reduces replica reports (e.g. from [`FleetSim::run_replicas`]).
+    /// Returns `None` for an empty batch.
+    pub fn from_reports(reports: &[FleetSimReport]) -> Option<ReplicaSummary> {
+        let first = reports.first()?;
+        let n = reports.len() as f64;
+        let mut min_it = first.it_energy;
+        let mut max_it = first.it_energy;
+        for r in reports {
+            min_it = min_it.min(r.it_energy);
+            max_it = max_it.max(r.it_energy);
+        }
+        Some(ReplicaSummary {
+            replicas: reports.len() as u64,
+            mean_it_energy: reports.iter().map(|r| r.it_energy).sum::<Energy>() / n,
+            min_it_energy: min_it,
+            max_it_energy: max_it,
+            mean_operational_location: reports.iter().map(|r| r.operational_location).sum::<Co2e>()
+                / n,
+            mean_jobs_completed: reports.iter().map(|r| r.jobs_completed as f64).sum::<f64>() / n,
+            mean_recomputed_gpu_hours: reports.iter().map(|r| r.recomputed_gpu_hours).sum::<f64>()
+                / n,
+            total_host_crashes: reports.iter().map(|r| r.host_crashes).sum(),
+            total_sdc_events: reports.iter().map(|r| r.sdc_events).sum(),
+        })
+    }
+}
+
 impl FleetSim {
     /// Creates a simulation.
     ///
@@ -193,6 +246,48 @@ impl FleetSim {
                 .value()
             + gap_co2;
         report
+    }
+
+    /// Runs `n` independent Monte Carlo replicas of this simulation on
+    /// [`ParPool::current`], one whole-sim replica per task.
+    ///
+    /// Replica `i` is seeded with [`sustain_par::task_seed`]`(base_seed, i)`
+    /// and reports are joined in replica order, so the result is
+    /// byte-identical for any thread count (including 1). Each replica
+    /// records through its task's forked obs handle, not the handle captured
+    /// at construction — parallel replicas must not interleave their span
+    /// streams. Reduce the reports with [`ReplicaSummary::from_reports`].
+    pub fn run_replicas(&self, n: usize, base_seed: u64) -> Vec<FleetSimReport> {
+        self.run_replicas_with(n, base_seed, None)
+    }
+
+    /// [`FleetSim::run_replicas`] with the chaos harness enabled — the
+    /// Monte Carlo view of crash/SDC recovery cost.
+    pub fn run_replicas_with_chaos(
+        &self,
+        n: usize,
+        base_seed: u64,
+        chaos: &ChaosConfig,
+    ) -> Vec<FleetSimReport> {
+        self.run_replicas_with(n, base_seed, Some(chaos))
+    }
+
+    fn run_replicas_with(
+        &self,
+        n: usize,
+        base_seed: u64,
+        chaos: Option<&ChaosConfig>,
+    ) -> Vec<FleetSimReport> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        sustain_par::ParPool::current().map_seeded(n, base_seed, |_, seed| {
+            let replica = self.clone().with_obs(&sustain_obs::handle());
+            let mut rng = StdRng::seed_from_u64(seed);
+            match chaos {
+                Some(chaos) => replica.run_with_chaos(&mut rng, chaos),
+                None => replica.run(&mut rng),
+            }
+        })
     }
 
     fn run_inner<R: Rng + ?Sized>(
@@ -670,5 +765,42 @@ mod tests {
         let a = sim(10, 10.0, 10.0).run_with_chaos(&mut StdRng::seed_from_u64(23), &chaos);
         let b = sim(10, 10.0, 10.0).run_with_chaos(&mut StdRng::seed_from_u64(23), &chaos);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replicas_are_independent_of_thread_count() {
+        use sustain_par::ParPool;
+        let fleet = sim(10, 10.0, 5.0);
+        ParPool::set_threads(1);
+        let serial = fleet.run_replicas(6, 29);
+        ParPool::set_threads(4);
+        let parallel = fleet.run_replicas(6, 29);
+        ParPool::set_threads(0);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 6);
+        // Distinct seeds must actually vary the outcomes.
+        assert!(
+            serial.windows(2).any(|pair| pair[0] != pair[1]),
+            "replicas all identical — seed derivation is broken"
+        );
+        // Each replica matches a direct run under its derived seed.
+        let direct = fleet.run(&mut StdRng::seed_from_u64(sustain_par::task_seed(29, 2)));
+        assert_eq!(serial[2], direct);
+    }
+
+    #[test]
+    fn replica_summary_reduces_deterministically() {
+        use crate::chaos::ChaosConfig;
+        let fleet = sim(10, 10.0, 5.0);
+        let reports = fleet.run_replicas_with_chaos(4, 7, &ChaosConfig::datacenter_default());
+        let summary = ReplicaSummary::from_reports(&reports).expect("non-empty batch");
+        assert_eq!(summary.replicas, 4);
+        assert!(summary.min_it_energy <= summary.mean_it_energy);
+        assert!(summary.mean_it_energy <= summary.max_it_energy);
+        assert_eq!(
+            summary,
+            ReplicaSummary::from_reports(&reports).expect("same batch"),
+        );
+        assert!(ReplicaSummary::from_reports(&[]).is_none());
     }
 }

@@ -14,6 +14,7 @@
 //! [`FleetSim`]: https://docs.rs/sustain-fleet
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -32,6 +33,15 @@ pub trait ClockSource: Send + Sync + fmt::Debug {
     /// Publishes an externally-driven time (simulated clocks accept it;
     /// wall clocks ignore it).
     fn set(&self, _to: TimeSpan) {}
+
+    /// A clock for one parallel task forked off this one, or `None` when the
+    /// task should share this clock. Simulated clocks fork (each task's
+    /// simulator restarts its own timeline from the fork point, so parallel
+    /// tasks cannot stomp each other's published time); wall clocks are
+    /// shared (one real timeline).
+    fn fork(&self) -> Option<Arc<dyn ClockSource>> {
+        None
+    }
 }
 
 /// A manually-driven simulated clock.
@@ -58,6 +68,12 @@ impl ClockSource for SimClock {
 
     fn set(&self, to: TimeSpan) {
         *self.now.lock() = to;
+    }
+
+    fn fork(&self) -> Option<Arc<dyn ClockSource>> {
+        let child = SimClock::new();
+        child.set(self.now());
+        Some(Arc::new(child))
     }
 }
 
@@ -122,6 +138,23 @@ mod tests {
         let b = c.now();
         assert!(b >= a);
         assert!(b < TimeSpan::from_years(1.0), "set must be ignored");
+    }
+
+    #[test]
+    fn sim_clock_forks_an_independent_timeline() {
+        let parent = SimClock::new();
+        parent.set(TimeSpan::from_hours(2.0));
+        let child = parent.fork().expect("sim clocks fork");
+        assert_eq!(child.now(), TimeSpan::from_hours(2.0));
+        child.set(TimeSpan::from_hours(9.0));
+        assert_eq!(parent.now(), TimeSpan::from_hours(2.0), "parent untouched");
+        parent.set(TimeSpan::from_hours(5.0));
+        assert_eq!(child.now(), TimeSpan::from_hours(9.0), "child untouched");
+    }
+
+    #[test]
+    fn wall_clock_is_shared_not_forked() {
+        assert!(WallClock::new().fork().is_none());
     }
 
     #[test]

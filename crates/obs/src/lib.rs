@@ -45,6 +45,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+use std::cell::RefCell;
 use std::sync::OnceLock;
 
 use parking_lot::RwLock;
@@ -78,10 +79,48 @@ pub fn install(obs: &Obs) {
     *global().write() = obs.clone();
 }
 
-/// The current process-global handle (the disabled handle unless a binary
-/// [`install`]ed an enabled one). Cloning is a reference-count bump.
+thread_local! {
+    /// Per-thread override of the process-global handle, scoped by
+    /// [`with_task_handle`]: a parallel worker thread routes everything an
+    /// instrumented subsystem records through its task's forked recorder.
+    static TASK_HANDLE: RefCell<Option<Obs>> = const { RefCell::new(None) };
+}
+
+/// The current handle: this thread's task override (see
+/// [`with_task_handle`]) when one is active, else the process-global handle
+/// (the disabled handle unless a binary [`install`]ed an enabled one).
+/// Cloning is a reference-count bump.
 pub fn handle() -> Obs {
+    if let Some(task) = TASK_HANDLE.with(|t| t.borrow().clone()) {
+        return task;
+    }
     global().read().clone()
+}
+
+/// Restores the previous thread-local override when the scope ends, even by
+/// unwinding — a panicking task must not leak its handle to later tasks run
+/// on the same worker thread.
+struct TaskHandleReset(Option<Obs>);
+
+impl Drop for TaskHandleReset {
+    fn drop(&mut self) {
+        let previous = self.0.take();
+        TASK_HANDLE.with(|t| *t.borrow_mut() = previous);
+    }
+}
+
+/// Runs `f` with `obs` as this thread's [`handle`].
+///
+/// This is how a parallel execution layer (sustain-par) gives each task a
+/// [forked](Obs::fork) recorder: library code keeps calling [`handle`] with
+/// no knowledge of the thread hop, and everything it records lands in the
+/// task's fork, ready to be [adopted](Obs::adopt) back in submission order.
+/// Scopes nest; the previous override is restored when `f` returns or
+/// unwinds.
+pub fn with_task_handle<R>(obs: &Obs, f: impl FnOnce() -> R) -> R {
+    let previous = TASK_HANDLE.with(|t| t.borrow_mut().replace(obs.clone()));
+    let _reset = TaskHandleReset(previous);
+    f()
 }
 
 #[cfg(test)]
@@ -100,5 +139,42 @@ mod tests {
         let a = handle();
         let b = a.clone();
         assert_eq!(a.enabled(), b.enabled());
+    }
+
+    #[test]
+    fn task_handle_overrides_scoped_and_nested() {
+        let task = ObsConfig::enabled().build();
+        assert!(!handle().enabled());
+        with_task_handle(&task, || {
+            assert!(handle().enabled());
+            let inner = Obs::disabled();
+            with_task_handle(&inner, || assert!(!handle().enabled()));
+            assert!(handle().enabled(), "outer override restored");
+        });
+        assert!(!handle().enabled(), "override dropped at scope end");
+    }
+
+    #[test]
+    fn task_handle_is_restored_after_a_panic() {
+        let task = ObsConfig::enabled().build();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_task_handle(&task, || panic!("task failed"));
+        }));
+        assert!(result.is_err());
+        assert!(!handle().enabled(), "unwinding must restore the override");
+    }
+
+    #[test]
+    fn task_handle_is_thread_local() {
+        let task = ObsConfig::enabled().build();
+        with_task_handle(&task, || {
+            std::thread::scope(|scope| {
+                let seen = scope
+                    .spawn(|| handle().enabled())
+                    .join()
+                    .expect("probe thread");
+                assert!(!seen, "override must not leak across threads");
+            });
+        });
     }
 }

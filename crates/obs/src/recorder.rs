@@ -93,7 +93,9 @@ pub struct Recorder {
     enabled: bool,
     clock: Arc<dyn ClockSource>,
     state: Mutex<RecorderState>,
-    registry: Registry,
+    // Shared with task forks (see [`Obs::fork`]): counter/gauge/histogram
+    // updates from parallel tasks land in the parent registry directly.
+    registry: Arc<Registry>,
 }
 
 impl fmt::Debug for Recorder {
@@ -163,7 +165,7 @@ impl ObsConfig {
                 enabled: self.enabled,
                 clock,
                 state: Mutex::new(RecorderState::default()),
-                registry: Registry::new(),
+                registry: Arc::new(Registry::new()),
             }),
         }
     }
@@ -290,6 +292,95 @@ impl Obs {
     /// Number of records so far (cheaper than [`Obs::events`]).
     pub fn event_count(&self) -> usize {
         self.rec.state.lock().events.len()
+    }
+
+    /// The id of the innermost open span (`None` when no span is open or the
+    /// handle is disabled). A parallel-execution layer captures this on the
+    /// submitting thread so task recordings can be re-parented under it when
+    /// they are [adopted](Obs::adopt) back.
+    pub fn current_span_id(&self) -> Option<u64> {
+        if !self.rec.enabled {
+            return None;
+        }
+        self.rec.state.lock().stack.last().copied()
+    }
+
+    /// A recorder for one parallel task forked off this one: same enablement,
+    /// a forked clock (simulated clocks get an independent timeline, wall
+    /// clocks are shared), the *same* metrics registry (counter updates are
+    /// commutative, so tasks update the parent's instruments directly), and a
+    /// fresh event log with its own id space. Merge the recording back with
+    /// [`Obs::adopt`]; on a disabled handle this is just a cheap clone.
+    pub fn fork(&self) -> Obs {
+        if !self.rec.enabled {
+            return self.clone();
+        }
+        let clock = self
+            .rec
+            .clock
+            .fork()
+            .unwrap_or_else(|| Arc::clone(&self.rec.clock));
+        Obs {
+            rec: Arc::new(Recorder {
+                enabled: true,
+                clock,
+                state: Mutex::new(RecorderState::default()),
+                registry: Arc::clone(&self.rec.registry),
+            }),
+        }
+    }
+
+    /// Merges a finished [fork](Obs::fork)'s events into this recording.
+    ///
+    /// Local span ids are remapped into this recorder's id space by a fixed
+    /// offset and root records (those with no parent inside the fork) are
+    /// re-parented under `parent` — so a parallel layer that adopts its task
+    /// forks in submission order produces an event log that is byte-identical
+    /// to the same tasks run sequentially, for any thread count. No-op when
+    /// either handle is disabled or `fork` is this recorder itself.
+    pub fn adopt(&self, fork: &Obs, parent: Option<u64>) {
+        if !self.rec.enabled || !fork.rec.enabled || Arc::ptr_eq(&self.rec, &fork.rec) {
+            return;
+        }
+        let (events, id_span) = {
+            let st = fork.rec.state.lock();
+            (st.events.clone(), st.next_id)
+        };
+        let mut st = self.rec.state.lock();
+        let base = st.next_id;
+        st.next_id += id_span;
+        let remap = |local: Option<u64>| match local {
+            Some(id) => Some(base + id),
+            None => parent,
+        };
+        for record in events {
+            st.events.push(match record {
+                EventRecord::Span {
+                    id,
+                    parent,
+                    name,
+                    start,
+                    end,
+                } => EventRecord::Span {
+                    id: base + id,
+                    parent: remap(parent),
+                    name,
+                    start,
+                    end,
+                },
+                EventRecord::Instant {
+                    parent,
+                    name,
+                    at,
+                    attrs,
+                } => EventRecord::Instant {
+                    parent: remap(parent),
+                    name,
+                    at,
+                    attrs,
+                },
+            });
+        }
     }
 }
 
@@ -445,6 +536,79 @@ mod tests {
             EventRecord::Instant { parent, .. } => assert_eq!(*parent, Some(1)),
             other => panic!("expected instant, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fork_adopt_matches_sequential_recording() {
+        // Reference: everything recorded sequentially on one handle.
+        let seq = ObsConfig::enabled().build();
+        {
+            let _outer = seq.span("outer");
+            for task in 0..3u64 {
+                let _t = seq.span("task");
+                seq.event("work", &[("task", task.into())]);
+            }
+        }
+        // Same shape through fork + submission-order adopt.
+        let par = ObsConfig::enabled().build();
+        {
+            let _outer = par.span("outer");
+            let parent = par.current_span_id();
+            let forks: Vec<Obs> = (0..3u64)
+                .map(|task| {
+                    let fork = par.fork();
+                    {
+                        let _t = fork.span("task");
+                        fork.event("work", &[("task", task.into())]);
+                    }
+                    fork
+                })
+                .collect();
+            for fork in &forks {
+                par.adopt(fork, parent);
+            }
+        }
+        assert_eq!(seq.events(), par.events());
+    }
+
+    #[test]
+    fn fork_shares_registry_and_adopt_reparents_roots() {
+        let obs = ObsConfig::enabled().build();
+        let root = obs.span("root");
+        let parent = obs.current_span_id();
+        let fork = obs.fork();
+        fork.counter("tasks_total").inc();
+        {
+            let _t = fork.span("task");
+        }
+        obs.adopt(&fork, parent);
+        drop(root);
+        // The fork's counter landed in the parent registry.
+        assert!((obs.counter("tasks_total").value() - 1.0).abs() < 1e-9);
+        match &obs.events()[0] {
+            EventRecord::Span { name, parent, .. } => {
+                assert_eq!(*name, "task");
+                assert_eq!(*parent, Some(0), "fork root re-parented under `root`");
+            }
+            other => panic!("expected task span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_fork_and_self_adopt_are_no_ops() {
+        let off = Obs::disabled();
+        let fork = off.fork();
+        assert!(!fork.enabled());
+        off.adopt(&fork, None);
+        assert_eq!(off.event_count(), 0);
+        // Adopting a recorder into itself must not deadlock or duplicate.
+        let on = ObsConfig::enabled().build();
+        {
+            let _s = on.span("a");
+        }
+        let clone = on.clone();
+        on.adopt(&clone, None);
+        assert_eq!(on.event_count(), 1);
     }
 
     #[test]

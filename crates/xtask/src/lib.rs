@@ -21,6 +21,7 @@
 //! | `float-eq`         | `==`/`!=` against float literals outside `units.rs`         |
 //! | `panic-discipline` | `unwrap`/`expect`/`panic!`/literal indexing in library src  |
 //! | `determinism`      | wall-clock/`thread_rng`/`HashMap` in simulation crates      |
+//! | `thread-discipline`| `thread::spawn`/`thread::scope` outside `par`/`obs`         |
 //! | `magic-constant`   | bare literals fed to carbon-unit constructors               |
 //! | `lint-header`      | crate roots missing `#![forbid(unsafe_code)]`               |
 
@@ -34,7 +35,7 @@ pub mod sanitize;
 
 mod rules;
 
-/// The six lint rules, in reporting order.
+/// The seven lint rules, in reporting order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// Raw `f64` in public API carrying a unit suffix.
@@ -45,6 +46,8 @@ pub enum Rule {
     PanicDiscipline,
     /// Nondeterminism sources in simulation crates.
     Determinism,
+    /// Raw thread primitives outside the sanctioned parallel/obs layers.
+    ThreadDiscipline,
     /// Bare physical-constant literals outside designated modules.
     MagicConstant,
     /// Missing `#![forbid(unsafe_code)]` in a crate root.
@@ -53,11 +56,12 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::UnitLeak,
         Rule::FloatEq,
         Rule::PanicDiscipline,
         Rule::Determinism,
+        Rule::ThreadDiscipline,
         Rule::MagicConstant,
         Rule::LintHeader,
     ];
@@ -69,6 +73,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::PanicDiscipline => "panic-discipline",
             Rule::Determinism => "determinism",
+            Rule::ThreadDiscipline => "thread-discipline",
             Rule::MagicConstant => "magic-constant",
             Rule::LintHeader => "lint-header",
         }

@@ -1,4 +1,4 @@
-//! The six carbon-accounting lint rules.
+//! The seven carbon-accounting lint rules.
 //!
 //! Each rule scans the sanitized code channel of a file (see
 //! [`crate::sanitize`]) with simple lexical state: brace depth,
@@ -11,9 +11,19 @@ use crate::sanitize::{is_ident_char, LineView};
 use crate::{Diagnostic, FileClass, Rule};
 
 /// Crates whose simulations must stay seed-reproducible (rule 4).
-const SIM_CRATES: &[&str] = &["fleet", "edge", "telemetry", "obs"];
+const SIM_CRATES: &[&str] = &["fleet", "edge", "telemetry", "obs", "par"];
 
-/// Module stems allowed to hold bare physical constants (rule 5).
+/// Crates allowed to touch raw thread primitives (rule 5 carve-out):
+/// `sustain-par` owns the scoped-thread pool, `sustain-obs` needs threads in
+/// its concurrency tests and recorder internals. Everything else must fan
+/// out through `sustain_par::ParPool`, whose submission-order join and
+/// per-task seeding keep figure output byte-identical at any thread count.
+const THREAD_CRATES: &[&str] = &["par", "obs"];
+
+/// Raw thread primitives banned outside [`THREAD_CRATES`] (rule 5).
+const THREAD_PRIMITIVES: &[&str] = &["thread::spawn", "thread::scope"];
+
+/// Module stems allowed to hold bare physical constants (rule 6).
 const CONSTANT_MODULES: &[&str] = &["constants", "oss", "units"];
 
 /// Unit suffixes that mark a raw `f64` as dimensioned (rule 1), with the
@@ -30,7 +40,7 @@ const UNIT_SUFFIXES: &[(&str, &str)] = &[
 ];
 
 /// Unit-newtype constructors whose bare-literal arguments are physical
-/// constants in disguise (rule 5). Time/data constructors are deliberately
+/// constants in disguise (rule 6). Time/data constructors are deliberately
 /// absent: durations and volumes are scenario parameters, not constants.
 const CARBON_CTORS: &[&str] = &[
     "from_joules",
@@ -280,7 +290,28 @@ pub(crate) fn scan(class: &FileClass, lines: &[LineView]) -> Vec<Diagnostic> {
             }
         }
 
-        // --- rule 5: magic-constant ---------------------------------------
+        // --- rule 5: thread-discipline ------------------------------------
+        if !class.test_like
+            && !class
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| THREAD_CRATES.contains(&c))
+        {
+            for pat in THREAD_PRIMITIVES {
+                if has_word(code, pat) {
+                    push(
+                        Rule::ThreadDiscipline,
+                        format!(
+                            "`{pat}` outside crates/par and crates/obs; fan out through \
+                             sustain_par::ParPool so joins stay deterministic"
+                        ),
+                        &mut diags,
+                    );
+                }
+            }
+        }
+
+        // --- rule 6: magic-constant ---------------------------------------
         if !class.test_like && !CONSTANT_MODULES.contains(&class.stem.as_str()) {
             for (ctor, literal) in ctor_literal_args(code) {
                 push(

@@ -4,7 +4,7 @@
 use xtask::{lint_source, Rule};
 
 /// Path that classifies as library source inside a simulation crate, so all
-/// six rules (including determinism) are in force.
+/// seven rules (including determinism and thread-discipline) are in force.
 const SIM_LIB: &str = "crates/fleet/src/sim.rs";
 /// Library source outside the simulation crates (determinism not enforced).
 const CORE_LIB: &str = "crates/core/src/embodied.rs";
@@ -191,6 +191,48 @@ fn determinism_permits_wall_clock_only_in_obs_clock_module() {
 fn determinism_allow_silences() {
     let src = "// lint:allow(determinism) diagnostics only, not part of results\n\
                use std::collections::HashMap;\n";
+    assert_clean(SIM_LIB, src);
+}
+
+// -------------------------------------------------------- thread-discipline
+
+#[test]
+fn thread_discipline_flags_spawn_and_scope_in_library_code() {
+    let src = "fn f() {\n\
+               \x20   std::thread::spawn(|| {});\n\
+               \x20   std::thread::scope(|_s| {});\n\
+               }\n";
+    let hits = rules_hit(SIM_LIB, src);
+    let n = hits
+        .iter()
+        .filter(|r| **r == Rule::ThreadDiscipline)
+        .count();
+    assert_eq!(n, 2, "got {hits:?}");
+    // Enforced outside the simulation crates too.
+    let hits = rules_hit(CORE_LIB, "fn f() { std::thread::spawn(|| {}); }\n");
+    assert!(hits.contains(&Rule::ThreadDiscipline), "got {hits:?}");
+}
+
+#[test]
+fn thread_discipline_permits_par_and_obs_crates() {
+    let src = "fn f() { std::thread::scope(|_s| {}); }\n";
+    assert_clean("crates/par/src/pool.rs", src);
+    assert_clean("crates/obs/src/recorder.rs", src);
+}
+
+#[test]
+fn thread_discipline_clean_in_tests_and_benches() {
+    let src = "fn f() { std::thread::spawn(|| {}); }\n";
+    assert_clean("crates/fleet/tests/sim.rs", src);
+    assert_clean("crates/bench/src/figs/fig1.rs", src);
+}
+
+#[test]
+fn thread_discipline_allow_silences() {
+    let src = "fn f() {\n\
+               \x20   // lint:allow(thread-discipline) one-shot watchdog, not a fan-out\n\
+               \x20   std::thread::spawn(|| {});\n\
+               }\n";
     assert_clean(SIM_LIB, src);
 }
 

@@ -15,6 +15,8 @@
 //! * [`edge`] — federated-learning and on-device carbon simulation.
 //! * [`obs`] — hierarchical spans, a metrics registry, and deterministic
 //!   trace/metrics exporters across the simulators.
+//! * [`par`] — deterministic parallel execution: ordered fan-out on scoped
+//!   threads with per-task seed derivation and obs span adoption.
 //!
 //! ## Quickstart
 //!
@@ -41,5 +43,6 @@ pub use sustain_edge as edge;
 pub use sustain_fleet as fleet;
 pub use sustain_obs as obs;
 pub use sustain_optim as optim;
+pub use sustain_par as par;
 pub use sustain_telemetry as telemetry;
 pub use sustain_workload as workload;
