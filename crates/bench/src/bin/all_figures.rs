@@ -4,12 +4,20 @@
 //! (or `SUSTAIN_THREADS`) picks the worker count and stdout is byte-identical
 //! for any choice, including 1.
 //!
+//! With `--cache <dir>` the run memoizes figure tables content-addressed
+//! under `<dir>` through `sustain-cache`: a cold run computes and stores
+//! every table, a warm run serves them from disk, and stdout stays
+//! byte-identical either way (a corrupted entry silently degrades to a
+//! recompute). `--no-cache` forces recomputation even when `--cache` is
+//! given. Cache statistics go to stderr.
+//!
 //! With `--obs <dir>` the run is additionally profiled through `sustain-obs`
 //! on a wall clock: every figure regenerator records a `figure.<name>` span,
-//! each pool task a `par.task` span, the instrumented simulators (fleet
-//! phases, chaos, telemetry faults, gap imputation, FL rounds, carbon
-//! tracker) report through the same recorder, and three exports land in
-//! `<dir>`:
+//! each pool task a `par.task` span, every cache lookup a `cache.lookup`
+//! span settling as a `cache.hit`/`cache.miss` event, the instrumented
+//! simulators (fleet phases, chaos, telemetry faults, gap imputation, FL
+//! rounds, carbon tracker) report through the same recorder, and three
+//! exports land in `<dir>`:
 //!
 //! * `events.jsonl` — the structured event log,
 //! * `trace.json` — Chrome trace-event JSON (open in Perfetto),
@@ -22,12 +30,15 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use sustain_cache::Cache;
 use sustain_obs::{Obs, ObsConfig};
 use sustain_par::ParPool;
 
 struct Args {
     obs_dir: Option<PathBuf>,
     threads: Option<usize>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
 }
 
 fn main() -> ExitCode {
@@ -35,38 +46,69 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: all_figures [--obs <dir>] [--threads <n>]");
+            eprintln!(
+                "usage: all_figures [--obs <dir>] [--threads <n>] [--cache <dir>] [--no-cache]"
+            );
             return ExitCode::FAILURE;
         }
     };
     if let Some(threads) = args.threads {
         ParPool::set_threads(threads);
     }
-    let Some(dir) = args.obs_dir else {
-        for table in sustain_bench::figs::all() {
+    let cache = match (&args.cache_dir, args.no_cache) {
+        (Some(dir), false) => match Cache::at_dir(dir) {
+            Ok(cache) => Some((dir.clone(), cache)),
+            Err(err) => {
+                eprintln!(
+                    "all_figures: cannot open cache dir {}: {err}",
+                    dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => None,
+    };
+    let print_all = |cache: Option<&Cache>| {
+        for table in sustain_bench::figs::all_with_pool_cached(&ParPool::current(), cache) {
             println!("{table}");
         }
+    };
+    let report_cache = |cache: &Option<(PathBuf, Cache)>| {
+        if let Some((dir, cache)) = cache {
+            eprintln!(
+                "all_figures: cache {}: {} hits, {} misses",
+                dir.display(),
+                cache.hits(),
+                cache.misses(),
+            );
+        }
+    };
+
+    let Some(dir) = args.obs_dir else {
+        print_all(cache.as_ref().map(|(_, c)| c));
+        report_cache(&cache);
         return ExitCode::SUCCESS;
     };
 
     let obs = ObsConfig::enabled().with_wall_clock().build();
     sustain_obs::install(&obs);
-    for table in sustain_bench::figs::all() {
-        println!("{table}");
-    }
+    print_all(cache.as_ref().map(|(_, c)| c));
     coverage_sweep();
+    report_cache(&cache);
 
-    // Every traced regenerator bumps `figures_generated_total` exactly once,
-    // and pool-task forks share the parent registry — so after the sweep the
-    // counter must equal the full catalogue, whatever the thread count.
+    // Every traced regenerator bumps `figures_generated_total` exactly once
+    // and every cache hit skips exactly one regenerator (pool-task forks
+    // share the parent registry) — so after the sweep, generated plus
+    // cache-served must equal the full catalogue, whatever the thread count.
     let expected = (sustain_bench::figs::FIGURES.len()
         + sustain_bench::figs::extras::TABLES.len()
         + sustain_bench::figs::extensions::TABLES.len()
         + sustain_bench::figs::faults::TABLES.len()) as f64;
     let generated = obs.counter("figures_generated_total").value();
+    let served = cache.as_ref().map_or(0.0, |(_, c)| c.hits() as f64);
     assert!(
-        (generated - expected).abs() < 0.5,
-        "figures_generated_total = {generated}, expected {expected}: \
+        (generated + served - expected).abs() < 0.5,
+        "figures_generated_total = {generated} + cache hits = {served}, expected {expected}: \
          a figure was skipped or double-counted under the pool"
     );
 
@@ -89,6 +131,8 @@ fn parse_args() -> Result<Args, String> {
     let mut parsed = Args {
         obs_dir: None,
         threads: None,
+        cache_dir: None,
+        no_cache: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -101,6 +145,11 @@ fn parse_args() -> Result<Args, String> {
                 Some(Ok(n)) if n > 0 => parsed.threads = Some(n),
                 _ => return Err("--threads requires a positive integer".to_string()),
             },
+            "--cache" => match args.next() {
+                Some(dir) => parsed.cache_dir = Some(PathBuf::from(dir)),
+                None => return Err("--cache requires a cache directory".to_string()),
+            },
+            "--no-cache" => parsed.no_cache = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -110,8 +159,10 @@ fn parse_args() -> Result<Args, String> {
 /// Exercises the instrumented subsystems the printed figures do not reach
 /// (the robustness tables live in the separate `fig_faults` binary, and no
 /// paper figure builds a `CarbonTracker`), so the exports cover the whole
-/// instrumented surface. Runs under the same pool as the figures. Nothing
-/// is printed: stdout stays byte-identical.
+/// instrumented surface. Runs under the same pool as the figures, and never
+/// through the cache — the sweep exists to exercise the simulators, so
+/// serving it from disk would defeat it. Nothing is printed: stdout stays
+/// byte-identical.
 fn coverage_sweep() {
     use sustain_core::intensity::{AccountingBasis, CarbonIntensity};
     use sustain_core::lifecycle::MlPhase;

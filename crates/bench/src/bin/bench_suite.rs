@@ -22,6 +22,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use sustain_bench::figs;
+use sustain_cache::Cache;
 use sustain_obs::{ClockSource, WallClock};
 use sustain_par::ParPool;
 
@@ -68,6 +69,23 @@ fn main() -> ExitCode {
         speedup
     );
 
+    // Warm-vs-cold cache row: cold pays the full fan-out plus store
+    // writes, warm serves every table from the content-addressed cache.
+    // In-memory cache so the row measures memoization, not disk.
+    let cold = sample(args.reps, || {
+        run_fanout_cached(args.threads, &Cache::in_memory());
+    });
+    let warm_cache = Cache::in_memory();
+    run_fanout_cached(args.threads, &warm_cache);
+    let warm = sample(args.reps, || run_fanout_cached(args.threads, &warm_cache));
+    let cache_speedup = median(&cold) / median(&warm).max(f64::MIN_POSITIVE);
+    println!(
+        "cache ({tables} tables): cold median {:.1} ms, warm median {:.1} ms -> {:.2}x",
+        median(&cold),
+        median(&warm),
+        cache_speedup
+    );
+
     let mut figures_json = Vec::new();
     if !args.quick {
         for (name, generate) in figs::FIGURES {
@@ -103,7 +121,9 @@ fn main() -> ExitCode {
         "{{\n  \"bench\": \"par_fanout\",\n  \"reps\": {},\n  \"threads\": {},\n  \
          \"available_parallelism\": {},\n  \"quick\": {},\n  \"fanout\": {{\n    \
          \"tables\": {},\n    \"serial\": {},\n    \"parallel\": {},\n    \
-         \"speedup_median\": {:.3}\n  }},\n  \"figures\": {}\n}}\n",
+         \"speedup_median\": {:.3}\n  }},\n  \"cache\": {{\n    \
+         \"tables\": {},\n    \"cold\": {},\n    \"warm\": {},\n    \
+         \"warm_speedup_median\": {:.3}\n  }},\n  \"figures\": {}\n}}\n",
         args.reps,
         args.threads,
         hardware,
@@ -112,6 +132,10 @@ fn main() -> ExitCode {
         stat_json(&serial),
         stat_json(&parallel),
         speedup,
+        tables,
+        stat_json(&cold),
+        stat_json(&warm),
+        cache_speedup,
         figures_block
     );
     if let Err(err) = std::fs::write(&args.out, json) {
@@ -126,6 +150,14 @@ fn main() -> ExitCode {
 /// pool with exactly `threads` workers.
 fn run_fanout(threads: usize) {
     for table in figs::all_with_pool(&ParPool::new(threads)) {
+        let _ = table.to_string();
+    }
+}
+
+/// [`run_fanout`] through a `sustain-cache` handle: first call per cache
+/// computes and stores, later calls are served content-addressed.
+fn run_fanout_cached(threads: usize, cache: &Cache) {
+    for table in figs::all_with_pool_cached(&ParPool::new(threads), Some(cache)) {
         let _ = table.to_string();
     }
 }

@@ -19,6 +19,7 @@ pub mod fig10_histogram;
 pub mod fig11_federated;
 pub mod fig12_pareto;
 
+use sustain_cache::{Cache, CacheKey, KeyEncoder};
 use sustain_par::ParPool;
 
 use crate::table::Table;
@@ -43,6 +44,41 @@ pub const FIGURES: &[NamedFigure] = &[
     ("figure.fig11_federated", fig11_federated::generate),
     ("figure.fig12_pareto", fig12_pareto::generate),
 ];
+
+/// Cache key for one figure regeneration.
+///
+/// A figure table is a pure function of the generator (identified by its
+/// span name) and the workspace seed, so those two values are the complete
+/// key. Code changes within one workspace version are *not* part of the
+/// key — the cache is opt-in precisely so the default path always
+/// recomputes (see DESIGN.md, "Incremental recomputation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigureSpec {
+    name: &'static str,
+}
+
+impl FigureSpec {
+    /// The spec for a named figure generator.
+    pub fn new(name: &'static str) -> FigureSpec {
+        FigureSpec { name }
+    }
+
+    /// The figure's span name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl CacheKey for FigureSpec {
+    fn namespace(&self) -> &'static str {
+        "figure"
+    }
+
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.write_str(self.name);
+        enc.write_u64(crate::SEED);
+    }
+}
 
 /// Runs one figure generator inside a `figure.<name>` span on the
 /// process-global obs handle — per-figure wall time when `all_figures` runs
@@ -73,13 +109,28 @@ pub fn all() -> Vec<Table> {
 /// parallelism is invisible in every output byte except the `worker`
 /// attribute on `par.task` events.
 pub fn all_with_pool(pool: &ParPool) -> Vec<Table> {
+    all_with_pool_cached(pool, None)
+}
+
+/// [`all_with_pool`] with optional memoization: with a cache, each figure
+/// is looked up by its [`FigureSpec`] fingerprint and only regenerated on
+/// a miss (a hit therefore records a `cache.hit` event but no
+/// `figure.<name>` span and no `figures_generated_total` bump). Output
+/// order and bytes are identical either way — the differential suite in
+/// `tests/cache_correctness.rs` holds this to byte equality.
+pub fn all_with_pool_cached(pool: &ParPool, cache: Option<&Cache>) -> Vec<Table> {
     let figures: Vec<NamedFigure> = FIGURES
         .iter()
         .chain(extras::TABLES)
         .chain(extensions::TABLES)
         .copied()
         .collect();
-    pool.map_indexed(figures, |_, (name, generate)| traced(name, generate))
+    match cache {
+        None => pool.map_indexed(figures, |_, (name, generate)| traced(name, generate)),
+        Some(cache) => pool.map_indexed(figures, |_, (name, generate)| {
+            cache.get_or_compute(&FigureSpec::new(name), || traced(name, generate))
+        }),
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use sustain_cache::{CacheKey, KeyEncoder};
 use sustain_core::units::{Fraction, TimeSpan};
 use sustain_telemetry::faults::FaultPlan;
 
@@ -133,6 +134,26 @@ impl ChaosConfig {
             && self.wearout.is_none()
             && self.intensity_gap == Fraction::ZERO
             && self.telemetry.is_none()
+    }
+}
+
+impl CacheKey for ChaosConfig {
+    fn namespace(&self) -> &'static str {
+        "chaos"
+    }
+
+    /// Field-by-field encoding: equal configurations share a fingerprint
+    /// whatever builder-call order produced them, and every field reaches
+    /// the hash (nested policy/model/plan structs through their value
+    /// renderings).
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.write_f64(self.crash_rate_per_server_day);
+        enc.write_debug(&self.checkpoint);
+        enc.write_option(self.wearout.as_ref(), |enc, w| enc.write_debug(w));
+        enc.write_f64(self.fleet_age.as_secs());
+        enc.write_f64(self.sdc_rerun.value());
+        enc.write_f64(self.intensity_gap.value());
+        enc.write_debug(&self.telemetry);
     }
 }
 

@@ -11,6 +11,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+use sustain_cache::{Cache, CacheKey, CacheValue, KeyEncoder};
 use sustain_core::footprint::CarbonFootprint;
 use sustain_core::intensity::AccountingBasis;
 use sustain_core::quality::DataQualityReport;
@@ -37,6 +38,7 @@ pub struct FleetSim {
     arrivals_per_day: f64,
     horizon: TimeSpan,
     obs: Obs,
+    cache: Option<Cache>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -172,6 +174,7 @@ impl FleetSim {
             arrivals_per_day,
             horizon,
             obs: sustain_obs::handle(),
+            cache: None,
         }
     }
 
@@ -182,6 +185,19 @@ impl FleetSim {
     #[must_use]
     pub fn with_obs(mut self, obs: &Obs) -> FleetSim {
         self.obs = obs.clone();
+        self
+    }
+
+    /// Attaches a `sustain-cache` handle: [`FleetSim::run_replicas`] and
+    /// [`FleetSim::run_replicas_with_chaos`] then serve unchanged replicas
+    /// content-addressed by (simulation config, chaos config, derived
+    /// seed). Like the obs handle, the cache is orthogonal to the
+    /// simulation itself — a cached replica report is byte-for-byte the
+    /// report a fresh run would produce — and is excluded from the
+    /// [`CacheKey`] encoding.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &Cache) -> FleetSim {
+        self.cache = Some(cache.clone());
         self
     }
 
@@ -281,11 +297,24 @@ impl FleetSim {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         sustain_par::ParPool::current().map_seeded(n, base_seed, |_, seed| {
-            let replica = self.clone().with_obs(&sustain_obs::handle());
-            let mut rng = StdRng::seed_from_u64(seed);
-            match chaos {
-                Some(chaos) => replica.run_with_chaos(&mut rng, chaos),
-                None => replica.run(&mut rng),
+            let compute = || {
+                let replica = self.clone().with_obs(&sustain_obs::handle());
+                let mut rng = StdRng::seed_from_u64(seed);
+                match chaos {
+                    Some(chaos) => replica.run_with_chaos(&mut rng, chaos),
+                    None => replica.run(&mut rng),
+                }
+            };
+            match &self.cache {
+                Some(cache) => cache.get_or_compute(
+                    &ReplicaKey {
+                        sim: self,
+                        chaos,
+                        seed,
+                    },
+                    compute,
+                ),
+                None => compute(),
             }
         })
     }
@@ -539,6 +568,66 @@ impl FleetSim {
             quality,
         };
         (report, gap_co2)
+    }
+}
+
+impl CacheKey for FleetSim {
+    fn namespace(&self) -> &'static str {
+        "fleet-sim"
+    }
+
+    /// Encodes the simulation configuration — cluster, datacenter, job
+    /// generator, utilization model, arrival rate, horizon. The obs and
+    /// cache handles are deliberately excluded: neither can change a
+    /// report (observability never draws from the RNG).
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.write_debug(&self.cluster);
+        enc.write_debug(&self.datacenter);
+        enc.write_debug(&self.jobs);
+        enc.write_debug(&self.utilization);
+        enc.write_f64(self.arrivals_per_day);
+        enc.write_f64(self.horizon.as_secs());
+    }
+}
+
+/// Cache key of one Monte Carlo replica: the simulation config, the chaos
+/// config (absence encoded distinctly from `ChaosConfig::none()`), and the
+/// replica's derived seed. Because [`sustain_par::task_seed`] is a pure
+/// function of (base seed, replica index), a replica keeps its fingerprint
+/// when the batch grows or shrinks around it — shrinking `n` re-serves a
+/// strict prefix of the cached batch.
+struct ReplicaKey<'a> {
+    sim: &'a FleetSim,
+    chaos: Option<&'a ChaosConfig>,
+    seed: u64,
+}
+
+impl CacheKey for ReplicaKey<'_> {
+    fn namespace(&self) -> &'static str {
+        "replica"
+    }
+
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        self.sim.encode_key(enc);
+        enc.write_option(self.chaos, |enc, chaos| chaos.encode_key(enc));
+        enc.write_u64(self.seed);
+    }
+}
+
+/// Replica reports are stored as their `serde` JSON rendering. The shim's
+/// float formatting is shortest-roundtrip, so a decoded report is
+/// bit-identical to the computed one — required for the `PartialEq`
+/// comparisons the differential tests make.
+impl CacheValue for FleetSimReport {
+    fn to_cache_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .map(String::into_bytes)
+            .unwrap_or_default()
+    }
+
+    fn from_cache_bytes(bytes: &[u8]) -> Option<FleetSimReport> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        serde_json::from_str(text).ok()
     }
 }
 

@@ -24,6 +24,7 @@
 //! | `thread-discipline`| `thread::spawn`/`thread::scope` outside `par`/`obs`         |
 //! | `magic-constant`   | bare literals fed to carbon-unit constructors               |
 //! | `lint-header`      | crate roots missing `#![forbid(unsafe_code)]`               |
+//! | `fs-discipline`    | filesystem writes outside `crates/cache` + sanctioned sites |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -35,7 +36,7 @@ pub mod sanitize;
 
 mod rules;
 
-/// The seven lint rules, in reporting order.
+/// The eight lint rules, in reporting order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// Raw `f64` in public API carrying a unit suffix.
@@ -52,11 +53,14 @@ pub enum Rule {
     MagicConstant,
     /// Missing `#![forbid(unsafe_code)]` in a crate root.
     LintHeader,
+    /// Direct filesystem writes outside the cache crate and the sanctioned
+    /// exporter sites.
+    FsDiscipline,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::UnitLeak,
         Rule::FloatEq,
         Rule::PanicDiscipline,
@@ -64,6 +68,7 @@ impl Rule {
         Rule::ThreadDiscipline,
         Rule::MagicConstant,
         Rule::LintHeader,
+        Rule::FsDiscipline,
     ];
 
     /// The kebab-case name used in diagnostics and `lint:allow(..)` markers.
@@ -76,6 +81,7 @@ impl Rule {
             Rule::ThreadDiscipline => "thread-discipline",
             Rule::MagicConstant => "magic-constant",
             Rule::LintHeader => "lint-header",
+            Rule::FsDiscipline => "fs-discipline",
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The seven carbon-accounting lint rules.
+//! The eight carbon-accounting lint rules.
 //!
 //! Each rule scans the sanitized code channel of a file (see
 //! [`crate::sanitize`]) with simple lexical state: brace depth,
@@ -11,7 +11,7 @@ use crate::sanitize::{is_ident_char, LineView};
 use crate::{Diagnostic, FileClass, Rule};
 
 /// Crates whose simulations must stay seed-reproducible (rule 4).
-const SIM_CRATES: &[&str] = &["fleet", "edge", "telemetry", "obs", "par"];
+const SIM_CRATES: &[&str] = &["fleet", "edge", "telemetry", "obs", "par", "cache"];
 
 /// Crates allowed to touch raw thread primitives (rule 5 carve-out):
 /// `sustain-par` owns the scoped-thread pool, `sustain-obs` needs threads in
@@ -75,6 +75,31 @@ const NONDETERMINISM: &[(&str, &str)] = &[
         "HashMap",
         "use BTreeMap so iteration order is deterministic",
     ),
+];
+
+/// Filesystem write primitives banned outside `crates/cache` and the
+/// sanctioned sites (rule 8). Cached figures and replica reports must be
+/// re-derivable from their content-addressed entries alone, so persistence
+/// is routed through `sustain_cache::DiskStore` — whose versioned,
+/// checksummed entries degrade to a miss instead of serving stale bytes —
+/// rather than scattered ad-hoc writes.
+const FS_WRITE_PRIMITIVES: &[&str] = &[
+    "fs::write",
+    "File::create",
+    "OpenOptions",
+    "create_dir",
+    "create_dir_all",
+    "fs::rename",
+    "fs::remove_file",
+    "fs::remove_dir_all",
+];
+
+/// The sanctioned write sites outside `crates/cache` (rule 8): the obs
+/// exporter in `all_figures` and the benchmark report in `bench_suite`.
+/// Both write *derived* artifacts a rerun regenerates byte-identically.
+const FS_SANCTIONED_FILES: &[&str] = &[
+    "crates/bench/src/bin/all_figures.rs",
+    "crates/bench/src/bin/bench_suite.rs",
 ];
 
 /// An in-progress `pub fn` signature (may span multiple lines).
@@ -311,6 +336,29 @@ pub(crate) fn scan(class: &FileClass, lines: &[LineView]) -> Vec<Diagnostic> {
             }
         }
 
+        // --- rule 8: fs-discipline ----------------------------------------
+        // Applies to binaries too (unlike the library-only rules): any
+        // non-test write outside crates/cache must be a sanctioned site or
+        // carry an explicit allow.
+        if class.crate_name.as_deref() != Some("cache")
+            && !FS_SANCTIONED_FILES.contains(&class.path.as_str())
+            && !path_is_test_code(&class.path)
+        {
+            for pat in FS_WRITE_PRIMITIVES {
+                if has_word(code, pat) {
+                    push(
+                        Rule::FsDiscipline,
+                        format!(
+                            "`{pat}` writes the filesystem outside crates/cache; persist \
+                             through sustain_cache::DiskStore or justify with \
+                             lint:allow(fs-discipline)"
+                        ),
+                        &mut diags,
+                    );
+                }
+            }
+        }
+
         // --- rule 6: magic-constant ---------------------------------------
         if !class.test_like && !CONSTANT_MODULES.contains(&class.stem.as_str()) {
             for (ctor, literal) in ctor_literal_args(code) {
@@ -327,6 +375,15 @@ pub(crate) fn scan(class: &FileClass, lines: &[LineView]) -> Vec<Diagnostic> {
     }
 
     diags
+}
+
+/// True for paths under a `tests`, `benches`, or `examples` directory
+/// (rule 8 carve-out): test code writes temp fixtures freely. Narrower
+/// than [`FileClass::test_like`], which also covers `bin` and figure
+/// sources — binaries are exactly where write discipline matters.
+fn path_is_test_code(path: &str) -> bool {
+    path.split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples"))
 }
 
 /// True for the one module allowed to read the wall clock (rule 4

@@ -325,3 +325,65 @@ fn diagnostics_carry_file_line_and_render() {
         "got {rendered}"
     );
 }
+
+// ------------------------------------------------------------ fs-discipline
+
+#[test]
+fn fs_discipline_flags_writes_in_library_code() {
+    let src = "pub fn save(report: &str) {\n    let _ = std::fs::write(\"out.json\", report);\n}\n";
+    let hits = rules_hit(SIM_LIB, src);
+    assert!(hits.contains(&Rule::FsDiscipline), "got {hits:?}");
+}
+
+#[test]
+fn fs_discipline_flags_writes_in_unsanctioned_binaries() {
+    // Unlike the library-only rules, write discipline reaches `bin` sources.
+    let src = "fn main() {\n    let _ = std::fs::File::create(\"dump.bin\");\n    let _ = std::fs::create_dir_all(\"out\");\n}\n";
+    let hits = rules_hit("crates/fleet/src/bin/dump.rs", src);
+    assert_eq!(
+        hits.iter().filter(|r| **r == Rule::FsDiscipline).count(),
+        2,
+        "got {hits:?}"
+    );
+}
+
+#[test]
+fn fs_discipline_clean_inside_cache_crate() {
+    // The cache crate owns persistence: its stores write freely.
+    assert_clean(
+        "crates/cache/src/store.rs",
+        "pub fn save(dir: &Path) {\n    let _ = std::fs::create_dir_all(dir);\n    let _ = std::fs::rename(\"a\", \"b\");\n}\n",
+    );
+}
+
+#[test]
+fn fs_discipline_clean_on_sanctioned_exporter_sites() {
+    let src = "fn write_exports() {\n    let _ = std::fs::write(\"events.jsonl\", \"{}\");\n}\n";
+    assert_clean("crates/bench/src/bin/all_figures.rs", src);
+    assert_clean("crates/bench/src/bin/bench_suite.rs", src);
+}
+
+#[test]
+fn fs_discipline_clean_in_test_code() {
+    // Integration tests and benches write temp fixtures freely.
+    let src = "fn setup() {\n    let _ = std::fs::remove_dir_all(\"tmp\");\n    let _ = std::fs::File::create(\"tmp/x\");\n}\n";
+    assert_clean("crates/fleet/tests/replica_cache.rs", src);
+    assert_clean("tests/cache_correctness.rs", src);
+    assert_clean("crates/bench/benches/figures.rs", src);
+}
+
+#[test]
+fn fs_discipline_allow_silences() {
+    let src = "// lint:allow(fs-discipline) one-shot debug dump, never in CI\n\
+               pub fn dump(s: &str) { let _ = std::fs::write(\"dbg.txt\", s); }\n";
+    assert_clean(SIM_LIB, src);
+}
+
+#[test]
+fn fs_discipline_reads_stay_clean() {
+    // Only write primitives are disciplined; reads are unrestricted.
+    assert_clean(
+        SIM_LIB,
+        "pub fn load(p: &Path) -> Option<String> {\n    std::fs::read_to_string(p).ok()\n}\n",
+    );
+}

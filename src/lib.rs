@@ -17,6 +17,9 @@
 //!   trace/metrics exporters across the simulators.
 //! * [`par`] — deterministic parallel execution: ordered fan-out on scoped
 //!   threads with per-task seed derivation and obs span adoption.
+//! * [`cache`] — content-addressed incremental recomputation: FNV-1a
+//!   fingerprints over canonical input encodings, with an in-memory and a
+//!   corruption-tolerant on-disk store.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub use sustain_cache as cache;
 pub use sustain_core as core;
 pub use sustain_edge as edge;
 pub use sustain_fleet as fleet;
