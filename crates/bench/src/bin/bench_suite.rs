@@ -61,13 +61,27 @@ fn main() -> ExitCode {
     let parallel = sample(args.reps, || run_fanout(args.threads));
     let speedup = median(&serial) / median(&parallel).max(f64::MIN_POSITIVE);
     let tables = figs::all().len();
-    println!(
-        "fan-out ({tables} tables): 1 thread median {:.1} ms, {} threads median {:.1} ms -> {:.2}x",
-        median(&serial),
-        args.threads,
-        median(&parallel),
-        speedup
-    );
+    // A single-core box cannot show parallel speedup: reporting the ~1.0x it
+    // measures reads as a perf regression to anyone diffing the committed
+    // report, so the ratio is suppressed and the reason recorded instead.
+    let speedup_meaningful = hardware > 1;
+    if speedup_meaningful {
+        println!(
+            "fan-out ({tables} tables): 1 thread median {:.1} ms, {} threads median {:.1} ms -> {:.2}x",
+            median(&serial),
+            args.threads,
+            median(&parallel),
+            speedup
+        );
+    } else {
+        println!(
+            "fan-out ({tables} tables): 1 thread median {:.1} ms, {} threads median {:.1} ms \
+             (speedup suppressed: single-core host)",
+            median(&serial),
+            args.threads,
+            median(&parallel)
+        );
+    }
 
     // Warm-vs-cold cache row: cold pays the full fan-out plus store
     // writes, warm serves every table from the content-addressed cache.
@@ -117,11 +131,20 @@ fn main() -> ExitCode {
     } else {
         format!("[\n{}\n  ]", figures_json.join(",\n"))
     };
+    // `speedup_median: null` + the note marks "not measurable here", which
+    // downstream diffing must treat differently from "got slower".
+    let speedup_field = if speedup_meaningful {
+        format!("\"speedup_median\": {speedup:.3}")
+    } else {
+        "\"speedup_median\": null,\n    \
+         \"speedup_note\": \"suppressed: single-core host cannot show parallel speedup\""
+            .to_string()
+    };
     let json = format!(
         "{{\n  \"bench\": \"par_fanout\",\n  \"reps\": {},\n  \"threads\": {},\n  \
          \"available_parallelism\": {},\n  \"quick\": {},\n  \"fanout\": {{\n    \
          \"tables\": {},\n    \"serial\": {},\n    \"parallel\": {},\n    \
-         \"speedup_median\": {:.3}\n  }},\n  \"cache\": {{\n    \
+         {}\n  }},\n  \"cache\": {{\n    \
          \"tables\": {},\n    \"cold\": {},\n    \"warm\": {},\n    \
          \"warm_speedup_median\": {:.3}\n  }},\n  \"figures\": {}\n}}\n",
         args.reps,
@@ -131,7 +154,7 @@ fn main() -> ExitCode {
         tables,
         stat_json(&serial),
         stat_json(&parallel),
-        speedup,
+        speedup_field,
         tables,
         stat_json(&cold),
         stat_json(&warm),

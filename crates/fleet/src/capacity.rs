@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use sustain_core::units::{Co2e, TimeSpan};
 use sustain_workload::datagrowth::GrowthTrend;
 
+use crate::constants;
 use crate::server::ServerSku;
 
 /// One planning period's deployment decision.
@@ -59,7 +60,7 @@ impl CapacityPlan {
         let mut steps = Vec::with_capacity(periods as usize + 1);
         let mut in_service: u64 = 0;
         for period in 0..=periods {
-            let t = TimeSpan::from_days(182.625 * period as f64);
+            let t = TimeSpan::from_days(constants::HALF_YEAR_DAYS * period as f64);
             let demand = initial_demand * trend.factor_over(t);
             let needed = (demand / throughput_per_server).ceil() as u64;
             let added = needed.saturating_sub(in_service);

@@ -38,3 +38,33 @@ pub const CHAOS_FLEET_AGE_YEARS: f64 = 4.0;
 /// Per-hour probability that the renewable/grid-intensity feed has a gap
 /// (hourly market/REC data feeds run at percent-level incompleteness).
 pub const INTENSITY_GAP_RATE: f64 = 0.02;
+
+// ---------------------------------------------------------------------------
+// Jevons / capacity-planning calibration (crate::jevons, crate::capacity)
+// ---------------------------------------------------------------------------
+
+/// Half a Julian year in days (365.25 / 2): the paper's optimization cadence
+/// — operational power drops 20 % "every 6 months" — and the capacity-plan
+/// deployment period.
+pub const HALF_YEAR_DAYS: f64 = 182.625;
+
+/// Net fleet power factor after two years in the paper's Figure 8 dynamic:
+/// a 28.5 % *net* per-workload power reduction despite 20 %-per-half-year
+/// optimizations, because demand keeps growing.
+pub const JEVONS_NET_POWER_FACTOR_2Y: f64 = 0.715;
+
+/// Colocated ingestion demand (fraction of host capacity) calibrated so the
+/// disaggregation study reproduces the published +56 % training-throughput
+/// gain of moving data ingestion off trainer hosts.
+pub const DISAGG_INGEST_DEMAND: f64 = 0.449;
+
+/// Facebook's published datacenter electricity use, 2016–2020, as
+/// `(calendar year, MWh)` — the Figure 3c anchors (7.17 million MWh in
+/// 2020, sustainability-report figures).
+pub const FACEBOOK_DC_ELECTRICITY_MWH: [(u32, f64); 5] = [
+    (2016, 1.83e6),
+    (2017, 2.46e6),
+    (2018, 3.43e6),
+    (2019, 5.14e6),
+    (2020, 7.17e6),
+];

@@ -45,7 +45,7 @@ impl PipelineStudy {
     /// trainers to ~0.64 of peak; disaggregated trainers run at 1.0.
     pub fn paper_default() -> PipelineStudy {
         PipelineStudy {
-            ingest_demand: 0.449,
+            ingest_demand: crate::constants::DISAGG_INGEST_DEMAND,
             colocated_ingest_share: Fraction::saturating(0.20),
             stall_penalty: 1.0,
         }

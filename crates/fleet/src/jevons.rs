@@ -10,6 +10,8 @@ use serde::{Deserialize, Serialize};
 
 use sustain_core::units::{Energy, TimeSpan};
 
+use crate::constants;
+
 /// The compounding efficiency/demand model behind Figure 8.
 ///
 /// ```rust
@@ -32,12 +34,13 @@ impl JevonsModel {
     /// (retained factor 0.8) with demand growth calibrated so the *net*
     /// reduction over two years is 28.5 %.
     pub fn paper_default() -> JevonsModel {
-        // net(2y) = demand^4 × 0.8^4 = 0.715  ⇒  demand = (0.715 / 0.4096)^(1/4).
-        let demand = (0.715f64 / 0.8f64.powi(4)).powf(0.25);
+        // net(2y) = demand^4 × 0.8^4 = JEVONS_NET_POWER_FACTOR_2Y
+        //   ⇒ demand = (net / 0.4096)^(1/4).
+        let demand = (constants::JEVONS_NET_POWER_FACTOR_2Y / 0.8f64.powi(4)).powf(0.25);
         JevonsModel {
             efficiency_retained_per_period: 0.8,
             demand_growth_per_period: demand,
-            period: TimeSpan::from_days(182.625),
+            period: TimeSpan::from_days(constants::HALF_YEAR_DAYS),
         }
     }
 
@@ -116,17 +119,11 @@ pub struct ElectricityTrend {
 }
 
 impl ElectricityTrend {
-    /// Facebook's published datacenter electricity use, 2016–2020.
+    /// Facebook's published datacenter electricity use, 2016–2020
+    /// ([`constants::FACEBOOK_DC_ELECTRICITY_MWH`]).
     pub fn facebook_published() -> ElectricityTrend {
-        let mwh = [
-            (2016u32, 1.83e6),
-            (2017, 2.46e6),
-            (2018, 3.43e6),
-            (2019, 5.14e6),
-            (2020, 7.17e6),
-        ];
         ElectricityTrend {
-            anchors: mwh
+            anchors: constants::FACEBOOK_DC_ELECTRICITY_MWH
                 .iter()
                 .map(|&(y, m)| (y, Energy::from_megawatt_hours(m)))
                 .collect(),

@@ -37,7 +37,11 @@ pub struct FleetSim {
     utilization: UtilizationModel,
     arrivals_per_day: f64,
     horizon: TimeSpan,
+    // lint:allow(cache-key-completeness) observability sink: recording spans
+    // cannot change the simulated energy/carbon results being cached
     obs: Obs,
+    // lint:allow(cache-key-completeness) the cache handle stores results; it
+    // is not an input to them, so keying on it would defeat reuse
     cache: Option<Cache>,
 }
 
@@ -124,6 +128,8 @@ pub struct ReplicaSummary {
 impl ReplicaSummary {
     /// Reduces replica reports (e.g. from [`FleetSim::run_replicas`]).
     /// Returns `None` for an empty batch.
+    // lint:allow(obs-coverage) pure in-memory fold over at most a few hundred
+    // replica reports; the producing run_replicas span already brackets it
     pub fn from_reports(reports: &[FleetSimReport]) -> Option<ReplicaSummary> {
         let first = reports.first()?;
         let n = reports.len() as f64;

@@ -61,3 +61,8 @@ pub const DEFAULT_CLOCK_SKEW: f64 = 0.25;
 /// as a measured trapezoid (the convention CodeCarbon-style pollers use to
 /// separate jitter from loss).
 pub const GAP_DETECTION_FACTOR: f64 = 1.5;
+
+/// TPU v3 peak (TDP-like) board power in watts, per the paper's device
+/// comparison (Table: accelerator characteristics; matches Google's
+/// published per-chip figure).
+pub const TPU_V3_PEAK_WATTS: f64 = 283.0;

@@ -147,7 +147,7 @@ impl DeviceSpec {
             DeviceSpec::V100 => 300.0,
             DeviceSpec::A100 => 400.0,
             DeviceSpec::P100 => 250.0,
-            DeviceSpec::TpuV3 => 283.0,
+            DeviceSpec::TpuV3 => crate::constants::TPU_V3_PEAK_WATTS,
             DeviceSpec::CpuServer => 450.0,
             DeviceSpec::DramBank => 20.0,
             DeviceSpec::Smartphone => 3.0,

@@ -12,19 +12,33 @@
 //! this linter machine-checks the conventions the workspace relies on
 //! instead of trusting review to catch them.
 //!
+//! The pass runs in two phases over the same token substrate:
+//!
+//! 1. **Line rules** ([`rules`]) scan the sanitized code channel of each
+//!    line ([`sanitize::split_lines`]) with simple lexical state.
+//! 2. **Graph rules** ([`rules_graph`]) run over an *item graph* parsed
+//!    from the full token stream ([`lexer`] → [`items`]): structs with
+//!    field lists, impl blocks with method names, `use` imports, and fn
+//!    bodies as token spans. They relate items across files — a `CacheKey`
+//!    impl to its struct's field list, an import to every iteration site.
+//!
 //! Rules (suppress any one occurrence with `// lint:allow(<rule>)` plus a
 //! one-line justification):
 //!
-//! | rule               | what it rejects                                             |
-//! |--------------------|-------------------------------------------------------------|
-//! | `unit-leak`        | pub `f64` params/fields/returns with unit-suffixed names    |
-//! | `float-eq`         | `==`/`!=` against float literals outside `units.rs`         |
-//! | `panic-discipline` | `unwrap`/`expect`/`panic!`/literal indexing in library src  |
-//! | `determinism`      | wall-clock/`thread_rng`/`HashMap` in simulation crates      |
-//! | `thread-discipline`| `thread::spawn`/`thread::scope` outside `par`/`obs`         |
-//! | `magic-constant`   | bare literals fed to carbon-unit constructors               |
-//! | `lint-header`      | crate roots missing `#![forbid(unsafe_code)]`               |
-//! | `fs-discipline`    | filesystem writes outside `crates/cache` + sanctioned sites |
+//! | rule                     | what it rejects                                             |
+//! |--------------------------|-------------------------------------------------------------|
+//! | `unit-leak`              | pub `f64` params/fields/returns with unit-suffixed names    |
+//! | `float-eq`               | `==`/`!=` against float literals outside `units.rs`         |
+//! | `panic-discipline`       | `unwrap`/`expect`/`panic!`/literal indexing in library src  |
+//! | `determinism`            | wall-clock/`thread_rng` calls in simulation crates          |
+//! | `thread-discipline`      | `thread::spawn`/`thread::scope` outside `par`/`obs`         |
+//! | `magic-constant`         | bare literals fed to carbon-unit constructors               |
+//! | `lint-header`            | crate roots missing `#![forbid(unsafe_code)]`               |
+//! | `fs-discipline`          | filesystem writes outside `crates/cache` + sanctioned sites |
+//! | `cache-key-completeness` | struct fields missing from `CacheKey`/`CacheValue` codecs   |
+//! | `determinism-taint`      | iteration/retain/float reductions over unordered collections|
+//! | `obs-coverage`           | uninstrumented loop-bearing pub fns in hot-path files       |
+//! | `const-provenance`       | ≥3-sig-digit float literals outside `constants` modules     |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -32,11 +46,14 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod items;
+pub mod lexer;
 pub mod sanitize;
 
 mod rules;
+mod rules_graph;
 
-/// The eight lint rules, in reporting order.
+/// The twelve lint rules, in reporting order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// Raw `f64` in public API carrying a unit suffix.
@@ -56,11 +73,22 @@ pub enum Rule {
     /// Direct filesystem writes outside the cache crate and the sanctioned
     /// exporter sites.
     FsDiscipline,
+    /// Struct fields invisible to their type's `CacheKey` encoder or
+    /// `CacheValue` codec (stale-cache hazard).
+    CacheKeyCompleteness,
+    /// Order-dependent operations (iteration, `retain`, float reductions)
+    /// on unordered collections in simulation crates.
+    DeterminismTaint,
+    /// Loop-bearing pub fns in instrumented hot-path files with no span or
+    /// obs handle.
+    ObsCoverage,
+    /// Unprovenanced multi-digit float literals in simulation fn bodies.
+    ConstProvenance,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 12] = [
         Rule::UnitLeak,
         Rule::FloatEq,
         Rule::PanicDiscipline,
@@ -69,6 +97,10 @@ impl Rule {
         Rule::MagicConstant,
         Rule::LintHeader,
         Rule::FsDiscipline,
+        Rule::CacheKeyCompleteness,
+        Rule::DeterminismTaint,
+        Rule::ObsCoverage,
+        Rule::ConstProvenance,
     ];
 
     /// The kebab-case name used in diagnostics and `lint:allow(..)` markers.
@@ -82,6 +114,10 @@ impl Rule {
             Rule::MagicConstant => "magic-constant",
             Rule::LintHeader => "lint-header",
             Rule::FsDiscipline => "fs-discipline",
+            Rule::CacheKeyCompleteness => "cache-key-completeness",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::ObsCoverage => "obs-coverage",
+            Rule::ConstProvenance => "const-provenance",
         }
     }
 }
@@ -181,13 +217,90 @@ impl FileClass {
 
 /// Lints one file's source text. `path` must be workspace-relative with
 /// forward slashes; it selects which rules apply (see [`FileClass`]).
+///
+/// Single-file linting runs both phases but can only resolve structs
+/// defined in the same file; use [`lint_sources`] to let the graph rules
+/// see across files.
 pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
-    let class = FileClass::classify(path);
-    if class.skip {
-        return Vec::new();
+    lint_sources(&[(path.to_string(), source.to_string())])
+}
+
+/// Lints a set of files together, letting the graph rules resolve structs
+/// and impls across file boundaries. Each entry is a workspace-relative
+/// path (forward slashes) plus the file's source text. Diagnostics come
+/// back sorted by file, then line, then rule order.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut analyses = Vec::new();
+    for (path, source) in files {
+        let class = FileClass::classify(path);
+        if class.skip {
+            continue;
+        }
+        let lines = sanitize::split_lines(source);
+        diags.extend(rules::scan(&class, &lines));
+        let allows = rules::collect_allows(&lines);
+        let tokens = lexer::lex(source);
+        let graph = items::parse(&tokens);
+        analyses.push(rules_graph::FileAnalysis {
+            class,
+            tokens,
+            graph,
+            allows,
+        });
     }
-    let lines = sanitize::split_lines(source);
-    rules::scan(&class, &lines)
+    diags.extend(rules_graph::scan_workspace(&analyses));
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule as usize).cmp(&(&b.file, b.line, b.rule as usize))
+    });
+    diags
+}
+
+/// Renders ready-to-paste `lint:allow` lines for a batch of diagnostics
+/// (the `lint --fix-allow` helper): one block per finding with the comment
+/// to place on (or above) the flagged line, carrying a justification stub
+/// that review is expected to replace with the actual reason.
+pub fn render_fix_allow(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}:{}\n    // lint:allow({}) TODO: one-line justification\n",
+            d.file,
+            d.line,
+            d.rule.name()
+        ));
+    }
+    if diags.is_empty() {
+        out.push_str("nothing to allow: lint is clean\n");
+    }
+    out
+}
+
+/// Extracts the per-rule counts from a lint `--json` report (the committed
+/// `lint_baseline.json`). Hand-rolled like the writer: looks for
+/// `"<rule>": <count>` after the `"by_rule"` marker. Unknown or absent
+/// rules default to 0 so adding a rule never breaks an old baseline.
+pub fn parse_baseline_counts(json: &str) -> std::collections::BTreeMap<String, usize> {
+    let mut counts = std::collections::BTreeMap::new();
+    let region = match json.find("\"by_rule\"") {
+        Some(pos) => &json[pos..],
+        None => return counts,
+    };
+    let region = &region[..region.find('}').map(|p| p + 1).unwrap_or(region.len())];
+    for rule in Rule::ALL {
+        let needle = format!("\"{}\":", rule.name());
+        if let Some(pos) = region.find(&needle) {
+            let digits: String = region[pos + needle.len()..]
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if let Ok(n) = digits.parse::<usize>() {
+                counts.insert(rule.name().to_string(), n);
+            }
+        }
+    }
+    counts
 }
 
 /// Recursively collects the workspace `.rs` files eligible for linting,
@@ -220,10 +333,11 @@ fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
 }
 
 /// Lints every eligible workspace file under `root`. Returns the number of
-/// files scanned and all diagnostics, sorted by file then line.
+/// files scanned and all diagnostics, sorted by file then line. All files
+/// are analyzed together so the graph rules can match a `CacheKey` impl in
+/// one file to its struct in another.
 pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
-    let mut diags = Vec::new();
-    let mut scanned = 0usize;
+    let mut sources = Vec::new();
     for path in collect_workspace_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -236,9 +350,8 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> 
             continue;
         }
         let source = std::fs::read_to_string(&path)?;
-        scanned += 1;
-        diags.extend(lint_source(&rel, &source));
+        sources.push((rel, source));
     }
-    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok((scanned, diags))
+    let scanned = sources.len();
+    Ok((scanned, lint_sources(&sources)))
 }

@@ -10,8 +10,9 @@
 use crate::sanitize::{is_ident_char, LineView};
 use crate::{Diagnostic, FileClass, Rule};
 
-/// Crates whose simulations must stay seed-reproducible (rule 4).
-const SIM_CRATES: &[&str] = &["fleet", "edge", "telemetry", "obs", "par", "cache"];
+/// Crates whose simulations must stay seed-reproducible (rules 4 and the
+/// graph rules `determinism-taint` / `const-provenance`).
+pub(crate) const SIM_CRATES: &[&str] = &["fleet", "edge", "telemetry", "obs", "par", "cache"];
 
 /// Crates allowed to touch raw thread primitives (rule 5 carve-out):
 /// `sustain-par` owns the scoped-thread pool, `sustain-obs` needs threads in
@@ -23,8 +24,9 @@ const THREAD_CRATES: &[&str] = &["par", "obs"];
 /// Raw thread primitives banned outside [`THREAD_CRATES`] (rule 5).
 const THREAD_PRIMITIVES: &[&str] = &["thread::spawn", "thread::scope"];
 
-/// Module stems allowed to hold bare physical constants (rule 6).
-const CONSTANT_MODULES: &[&str] = &["constants", "oss", "units"];
+/// Module stems allowed to hold bare physical constants (rule 6 and the
+/// graph rule `const-provenance`).
+pub(crate) const CONSTANT_MODULES: &[&str] = &["constants", "oss", "units"];
 
 /// Unit suffixes that mark a raw `f64` as dimensioned (rule 1), with the
 /// newtype each should use instead.
@@ -71,10 +73,10 @@ const NONDETERMINISM: &[(&str, &str)] = &[
         "SystemTime",
         "inject simulated time instead of wall-clock time",
     ),
-    (
-        "HashMap",
-        "use BTreeMap so iteration order is deterministic",
-    ),
+    // `HashMap` used to be a blanket entry here; the graph rule
+    // `determinism-taint` (rules_graph.rs) subsumes it with an import-seeded
+    // taint pass that flags *iteration* of unordered collections instead of
+    // mere ownership, so point lookups no longer need an allow.
 ];
 
 /// Filesystem write primitives banned outside `crates/cache` and the
@@ -399,8 +401,10 @@ fn wall_clock_module(class: &FileClass) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Effective allow-tags per line: a tag on a code line covers that line; a
-/// tag on a comment-only line carries forward to the next code line.
-fn collect_allows(lines: &[LineView]) -> Vec<Vec<String>> {
+/// tag on a comment-only line carries forward to the next code line. Shared
+/// with the graph rules ([`crate::rules_graph`]) so suppression semantics
+/// are identical in both phases.
+pub(crate) fn collect_allows(lines: &[LineView]) -> Vec<Vec<String>> {
     let mut allows = Vec::with_capacity(lines.len());
     let mut carried: Vec<String> = Vec::new();
     for line in lines {
@@ -417,7 +421,7 @@ fn collect_allows(lines: &[LineView]) -> Vec<Vec<String>> {
     allows
 }
 
-fn allowed(allows: &[Vec<String>], idx: usize, rule: Rule) -> bool {
+pub(crate) fn allowed(allows: &[Vec<String>], idx: usize, rule: Rule) -> bool {
     allows
         .get(idx)
         .is_some_and(|tags| tags.iter().any(|t| t == rule.name()))

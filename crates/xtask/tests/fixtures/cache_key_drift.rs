@@ -1,0 +1,22 @@
+//! Planted violation: `horizon` was added to the struct but never reached
+//! the key encoder — the exact stale-cache bug class the rule exists for.
+//! Linted under a simulation-crate path by the fixture tests; never compiled.
+
+pub struct ScenarioKey {
+    seed: u64,
+    arrivals: f64,
+    horizon: f64,
+}
+
+impl CacheKey for ScenarioKey {
+    fn namespace(&self) -> &'static str {
+        "scenario"
+    }
+
+    fn encode_key(&self, encoder: &mut KeyEncoder) {
+        encoder.write_u64(self.seed);
+        encoder.write_f64(self.arrivals);
+        // self.horizon is missing: the cache will serve results computed
+        // for a different horizon.
+    }
+}

@@ -1,0 +1,8 @@
+//! Planted violation: unprovenanced multi-digit float literals in a
+//! simulation fn body. Linted under a simulation-crate path by the fixture
+//! tests; never compiled.
+
+pub fn water_boils(celsius: f64) -> bool {
+    // 273.15 and 373.124 belong in a constants module with a source.
+    celsius + 273.15 > 373.124
+}

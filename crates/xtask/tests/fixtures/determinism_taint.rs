@@ -1,0 +1,16 @@
+//! Planted violation: iterating a `HashMap` (and folding floats over it)
+//! inside a simulation crate. Linted under a simulation-crate path by the
+//! fixture tests; never compiled.
+
+use std::collections::HashMap;
+
+pub fn total_energy(by_job: &HashMap<u64, f64>) -> f64 {
+    // Arbitrary iteration order + non-associative float addition: the sum
+    // changes between runs with the same seed.
+    by_job.values().sum::<f64>()
+}
+
+pub fn prune(mut live: HashMap<u64, f64>) -> usize {
+    live.retain(|_, joules| *joules > 0.0);
+    live.len()
+}

@@ -1,0 +1,11 @@
+//! Planted violation: a loop-bearing pub fn in a hot-path file with no
+//! span and no obs handle. Linted under the `crates/fleet/src/sim.rs` path
+//! by the fixture tests; never compiled.
+
+pub fn replay(steps: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for s in steps {
+        total += s;
+    }
+    total
+}
