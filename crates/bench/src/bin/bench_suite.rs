@@ -25,6 +25,10 @@ use sustain_bench::figs;
 use sustain_cache::Cache;
 use sustain_obs::{ClockSource, WallClock};
 use sustain_par::ParPool;
+use sustain_stream::pipeline::{StreamConfig, StreamPipeline};
+use sustain_stream::queue::Sample;
+use sustain_stream::validate;
+use sustain_telemetry::faults::FaultPlan;
 
 struct Args {
     quick: bool,
@@ -100,6 +104,26 @@ fn main() -> ExitCode {
         cache_speedup
     );
 
+    // Streaming ingestion throughput: the same degraded sample stream
+    // pushed through the full queue -> reorder -> integrate pipeline at 1
+    // thread and at P threads. Content is thread-count-invariant (the
+    // determinism suite holds it to byte equality); this only measures
+    // samples/sec and the pipeline's bounded steady-state memory.
+    let stream_serial = sample(args.reps, || run_stream_ingest(1));
+    let stream_parallel = sample(args.reps, || run_stream_ingest(args.threads));
+    let stream_samples = (STREAM_SOURCES as u64 * STREAM_TICKS) as f64;
+    let rate = |ms: f64| stream_samples / (ms / 1e3).max(f64::MIN_POSITIVE);
+    let peak_buffered = stream_peak_buffered();
+    let buffered_bytes = peak_buffered * std::mem::size_of::<Sample>();
+    println!(
+        "stream-ingest ({STREAM_SOURCES} meters x {STREAM_TICKS} ticks): \
+         1 thread {:.0} samples/s, {} threads {:.0} samples/s, \
+         peak buffered {peak_buffered} samples ({buffered_bytes} bytes)",
+        rate(median(&stream_serial)),
+        args.threads,
+        rate(median(&stream_parallel)),
+    );
+
     let mut figures_json = Vec::new();
     if !args.quick {
         for (name, generate) in figs::FIGURES {
@@ -146,7 +170,11 @@ fn main() -> ExitCode {
          \"tables\": {},\n    \"serial\": {},\n    \"parallel\": {},\n    \
          {}\n  }},\n  \"cache\": {{\n    \
          \"tables\": {},\n    \"cold\": {},\n    \"warm\": {},\n    \
-         \"warm_speedup_median\": {:.3}\n  }},\n  \"figures\": {}\n}}\n",
+         \"warm_speedup_median\": {:.3}\n  }},\n  \"stream\": {{\n    \
+         \"sources\": {},\n    \"ticks\": {},\n    \"serial\": {},\n    \"parallel\": {},\n    \
+         \"samples_per_sec_serial\": {:.0},\n    \"samples_per_sec_parallel\": {:.0},\n    \
+         \"peak_buffered_samples\": {},\n    \"peak_buffered_bytes\": {}\n  }},\n  \
+         \"figures\": {}\n}}\n",
         args.reps,
         args.threads,
         hardware,
@@ -159,6 +187,14 @@ fn main() -> ExitCode {
         stat_json(&cold),
         stat_json(&warm),
         cache_speedup,
+        STREAM_SOURCES,
+        STREAM_TICKS,
+        stat_json(&stream_serial),
+        stat_json(&stream_parallel),
+        rate(median(&stream_serial)),
+        rate(median(&stream_parallel)),
+        peak_buffered,
+        buffered_bytes,
         figures_block
     );
     if let Err(err) = std::fs::write(&args.out, json) {
@@ -175,6 +211,56 @@ fn run_fanout(threads: usize) {
     for table in figs::all_with_pool(&ParPool::new(threads)) {
         let _ = table.to_string();
     }
+}
+
+/// Meters and ticks of the stream-ingest measurement: enough samples
+/// (128k) that queue/reorder traffic dominates setup cost, small enough
+/// for a CI smoke run.
+const STREAM_SOURCES: usize = 64;
+const STREAM_TICKS: u64 = 2000;
+
+fn stream_bench_config() -> StreamConfig {
+    StreamConfig {
+        shards: 4,
+        queue_capacity: 512,
+        reorder_capacity: 256,
+        flush_every: 32,
+        ..StreamConfig::default()
+    }
+}
+
+/// One full degraded-stream ingest run on `threads` pool workers.
+fn run_stream_ingest(threads: usize) {
+    ParPool::set_threads(threads);
+    let plan = FaultPlan::degraded().with_seed(sustain_bench::SEED);
+    let mut pipe = StreamPipeline::new(stream_bench_config());
+    for i in 0..STREAM_SOURCES {
+        pipe.add_source(&validate::source_label(i), &plan);
+    }
+    pipe.run(STREAM_TICKS, validate::synthetic_power);
+    let report = pipe.finish();
+    ParPool::set_threads(0);
+    assert!(report.is_conserved(), "bench stream must stay conserved");
+}
+
+/// The pipeline's peak in-flight sample count over a run with the flush
+/// cadence of [`stream_bench_config`] — the steady-state memory bound the
+/// report records alongside throughput.
+fn stream_peak_buffered() -> usize {
+    let plan = FaultPlan::degraded().with_seed(sustain_bench::SEED);
+    let mut pipe = StreamPipeline::new(stream_bench_config());
+    for i in 0..STREAM_SOURCES {
+        pipe.add_source(&validate::source_label(i), &plan);
+    }
+    let mut peak = 0;
+    for i in 0..STREAM_TICKS {
+        pipe.ingest_tick(validate::synthetic_power);
+        peak = peak.max(pipe.buffered());
+        if (i + 1) % stream_bench_config().flush_every == 0 {
+            pipe.flush();
+        }
+    }
+    peak
 }
 
 /// [`run_fanout`] through a `sustain-cache` handle: first call per cache

@@ -1,0 +1,8 @@
+//! Prints the streaming-ingestion validation tables: chaos-scale,
+//! lateness-bound, and queue-capacity sweeps plus the fleet-chaos feed.
+
+fn main() {
+    for table in sustain_bench::figs::stream::all() {
+        println!("{table}");
+    }
+}

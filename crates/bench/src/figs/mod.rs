@@ -18,6 +18,7 @@ pub mod fig09_utilization;
 pub mod fig10_histogram;
 pub mod fig11_federated;
 pub mod fig12_pareto;
+pub mod stream;
 
 use sustain_cache::{Cache, CacheKey, KeyEncoder};
 use sustain_par::ParPool;

@@ -31,6 +31,15 @@ pub enum FaultKind {
     NoiseBurst,
     /// A host crashed and restarted, losing in-flight work and telemetry.
     HostCrash,
+    /// A sample arrived with a timestamp older than one already integrated
+    /// and was rejected by the monotone reading path.
+    OutOfOrder,
+    /// A sample was evicted from a bounded ingest queue under backpressure
+    /// before any consumer saw it.
+    QueueDrop,
+    /// A sample arrived behind the reorder watermark — too late to admit —
+    /// and was routed to imputation instead of integration.
+    LateArrival,
 }
 
 impl fmt::Display for FaultKind {
@@ -43,6 +52,9 @@ impl fmt::Display for FaultKind {
             FaultKind::ClockSkew => f.write_str("clock-skew"),
             FaultKind::NoiseBurst => f.write_str("noise-burst"),
             FaultKind::HostCrash => f.write_str("host-crash"),
+            FaultKind::OutOfOrder => f.write_str("out-of-order"),
+            FaultKind::QueueDrop => f.write_str("queue-drop"),
+            FaultKind::LateArrival => f.write_str("late-arrival"),
         }
     }
 }
@@ -64,6 +76,12 @@ pub struct FaultCounts {
     pub noise_bursts: u64,
     /// Host crash/restart events.
     pub host_crashes: u64,
+    /// Samples rejected for arriving out of timestamp order.
+    pub out_of_order: u64,
+    /// Samples evicted from a bounded ingest queue under backpressure.
+    pub queue_drops: u64,
+    /// Samples that arrived behind the reorder watermark.
+    pub late_arrivals: u64,
 }
 
 impl FaultCounts {
@@ -77,6 +95,9 @@ impl FaultCounts {
             FaultKind::ClockSkew => self.skewed_timestamps += 1,
             FaultKind::NoiseBurst => self.noise_bursts += 1,
             FaultKind::HostCrash => self.host_crashes += 1,
+            FaultKind::OutOfOrder => self.out_of_order += 1,
+            FaultKind::QueueDrop => self.queue_drops += 1,
+            FaultKind::LateArrival => self.late_arrivals += 1,
         }
     }
 
@@ -90,6 +111,9 @@ impl FaultCounts {
             FaultKind::ClockSkew => self.skewed_timestamps,
             FaultKind::NoiseBurst => self.noise_bursts,
             FaultKind::HostCrash => self.host_crashes,
+            FaultKind::OutOfOrder => self.out_of_order,
+            FaultKind::QueueDrop => self.queue_drops,
+            FaultKind::LateArrival => self.late_arrivals,
         }
     }
 
@@ -102,6 +126,9 @@ impl FaultCounts {
             + self.skewed_timestamps
             + self.noise_bursts
             + self.host_crashes
+            + self.out_of_order
+            + self.queue_drops
+            + self.late_arrivals
     }
 
     /// Whether no faults were observed.
@@ -118,6 +145,9 @@ impl FaultCounts {
         self.skewed_timestamps += other.skewed_timestamps;
         self.noise_bursts += other.noise_bursts;
         self.host_crashes += other.host_crashes;
+        self.out_of_order += other.out_of_order;
+        self.queue_drops += other.queue_drops;
+        self.late_arrivals += other.late_arrivals;
     }
 }
 
@@ -314,5 +344,23 @@ mod tests {
     fn kind_display_names_are_stable() {
         assert_eq!(FaultKind::Dropout.to_string(), "dropout");
         assert_eq!(FaultKind::HostCrash.to_string(), "host-crash");
+        assert_eq!(FaultKind::OutOfOrder.to_string(), "out-of-order");
+        assert_eq!(FaultKind::QueueDrop.to_string(), "queue-drop");
+        assert_eq!(FaultKind::LateArrival.to_string(), "late-arrival");
+    }
+
+    #[test]
+    fn streaming_fault_classes_tally_and_merge() {
+        let mut a = FaultCounts::default();
+        a.record(FaultKind::QueueDrop);
+        a.record(FaultKind::LateArrival);
+        a.record(FaultKind::OutOfOrder);
+        assert_eq!(a.count(FaultKind::QueueDrop), 1);
+        assert_eq!(a.total(), 3);
+        let mut b = FaultCounts::default();
+        b.record(FaultKind::QueueDrop);
+        a.merge(&b);
+        assert_eq!(a.count(FaultKind::QueueDrop), 2);
+        assert_eq!(a.total(), 4);
     }
 }

@@ -126,6 +126,18 @@ impl ChaosConfig {
         }
     }
 
+    /// The telemetry fault plan for one host's *streaming* meter feed:
+    /// the shared [`ChaosConfig::telemetry`] mixture, re-seeded per host
+    /// with [`sustain_par::task_seed`] so a streaming ingestion layer
+    /// (`sustain-stream`) sees decorrelated chaos across the fleet's
+    /// meters while staying reproducible from the one plan seed. A
+    /// zero-rate plan stays a zero-rate plan: feeding a chaos-free config
+    /// into a stream keeps the strict no-op guarantee.
+    pub fn stream_plan(&self, host: u64) -> FaultPlan {
+        self.telemetry
+            .with_seed(sustain_par::task_seed(self.telemetry.seed, host))
+    }
+
     /// Whether this configuration injects nothing at all.
     pub fn is_none(&self) -> bool {
         // lint:allow(float-eq) exact zero gates the strict no-op path: any nonzero rate must count as chaos
@@ -191,6 +203,23 @@ mod tests {
             c.sdc_rate_per_server_hour()
                 > ChaosConfig::datacenter_default().sdc_rate_per_server_hour()
         );
+    }
+
+    #[test]
+    fn stream_plans_decorrelate_hosts_but_stay_reproducible() {
+        let c =
+            ChaosConfig::datacenter_default().with_telemetry(FaultPlan::degraded().with_seed(5));
+        let a = c.stream_plan(0);
+        let b = c.stream_plan(1);
+        assert_ne!(a.seed, b.seed, "hosts must draw decorrelated streams");
+        assert_eq!(a, c.stream_plan(0), "same host, same plan");
+        assert_eq!(
+            a.with_seed(0),
+            b.with_seed(0),
+            "only the seed differs between hosts"
+        );
+        let clean = ChaosConfig::none().stream_plan(3);
+        assert!(clean.is_none(), "chaos-free config stays a strict no-op");
     }
 
     #[test]

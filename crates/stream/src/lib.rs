@@ -1,0 +1,51 @@
+//! `sustain-stream` — bounded-memory streaming telemetry ingestion.
+//!
+//! The batch half of this workspace polls meters synchronously: one
+//! integrator per stream, one push per tick, nothing buffered. Real fleet
+//! telemetry does not arrive like that — it arrives from thousands of
+//! meters through finite collector queues, late, out of order, and
+//! sometimes not at all. This crate models that path end to end while
+//! keeping the workspace's two core guarantees: **bit-for-bit determinism
+//! at any thread count** and **every missing sample accounted for** in a
+//! [`sustain_core::quality::DataQualityReport`].
+//!
+//! The stages, producer to sink:
+//!
+//! | stage | type | bound | failure mode (always tallied) |
+//! |---|---|---|---|
+//! | meter read | [`source::MeterSource`] | retry budget | `Lost` → imputation |
+//! | ingest queue | [`queue::IngestQueue`] | capacity | blocked offer / queue drop |
+//! | reorder buffer | [`reorder::ReorderBuffer`] | capacity + lateness | late arrival → imputation |
+//! | integration | [`sustain_telemetry::meter::FaultTolerantIntegrator`] | — | out-of-order rejection |
+//!
+//! [`pipeline::StreamPipeline`] wires the stages together and
+//! [`validate`] replays identical streams through the streaming path and
+//! the exact batch integrator to score the degradation.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod constants;
+pub mod pipeline;
+pub mod queue;
+pub mod reorder;
+pub mod source;
+pub mod validate;
+
+pub use pipeline::{StreamConfig, StreamPipeline, StreamReport};
+pub use queue::{BackpressurePolicy, IngestQueue, Offer, Sample};
+pub use reorder::{Admission, ReorderBuffer};
+pub use source::{MeterRead, MeterSource};
+
+/// FNV-1a over a source label: the crate's one label hash, used both to
+/// assign sources to shards and to decorrelate per-source retry-jitter
+/// streams (the same construction `telemetry::faults` uses per stream).
+pub(crate) fn source_shard_hash(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,766 @@
+//! The bounded-memory streaming ingestion pipeline.
+//!
+//! A [`StreamPipeline`] carries counter samples from [`MeterSource`]s into
+//! per-source [`FaultTolerantIntegrator`]s and a
+//! [`sustain_telemetry::hierarchy::TraceTree`], through three bounded
+//! stages per shard:
+//!
+//! 1. an [`IngestQueue`] with an explicit [`BackpressurePolicy`] — a full
+//!    queue either stalls the producer (which, in simulated time, drains
+//!    the shard synchronously) or evicts its oldest sample with a
+//!    [`FaultKind::QueueDrop`] tally;
+//! 2. a [`ReorderBuffer`] releasing samples behind a lateness watermark,
+//!    routing too-late samples to imputation with a
+//!    [`FaultKind::LateArrival`] tally;
+//! 3. the monotone integration sinks, which tally anything still
+//!    out-of-order after reordering as [`FaultKind::OutOfOrder`].
+//!
+//! **Conservation.** Every `(tick, source)` pair ends in exactly one
+//! integrator push: an observed sample, or a `None` tombstone for a lost
+//! read, an evicted sample, or a late arrival. The merged
+//! [`DataQualityReport`] therefore satisfies `expected_samples = ticks ×
+//! sources`, and every missing observation is attributed to a tallied
+//! fault class — [`StreamReport::is_conserved`] checks both.
+//!
+//! **Determinism.** Shard flushes fan out through
+//! [`sustain_par::ParPool::map_indexed`], whose submission-order join and
+//! per-shard state make every report byte-identical at any thread count;
+//! results are merged in global source order so even the floating-point
+//! summation order is fixed.
+
+use serde::{Deserialize, Serialize};
+
+use sustain_core::quality::{DataQualityReport, FaultKind};
+use sustain_core::units::{Energy, Power, TimeSpan};
+use sustain_obs::Obs;
+use sustain_par::ParPool;
+use sustain_telemetry::faults::{FaultPlan, ImputationPolicy};
+use sustain_telemetry::hierarchy::TraceTree;
+use sustain_telemetry::meter::FaultTolerantIntegrator;
+use sustain_telemetry::trace::PowerTrace;
+
+use crate::constants;
+use crate::queue::{BackpressurePolicy, IngestQueue, Offer, Sample};
+use crate::reorder::{Admission, ReorderBuffer};
+use crate::source::{MeterRead, MeterSource};
+
+/// Configuration of a [`StreamPipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Number of ingest shards (sources are hashed across them).
+    pub shards: usize,
+    /// Per-shard ingest queue capacity, in samples.
+    pub queue_capacity: usize,
+    /// Per-shard reorder buffer capacity, in samples.
+    pub reorder_capacity: usize,
+    /// What a full ingest queue does.
+    pub backpressure: BackpressurePolicy,
+    /// Reorder lateness bound (`None` = infinite: nothing is ever late).
+    pub lateness: Option<TimeSpan>,
+    /// Nominal sampling interval of every source.
+    pub interval: TimeSpan,
+    /// Gap-bridging policy of the per-source integrators.
+    pub imputation: ImputationPolicy,
+    /// Retry budget for timed-out meter reads.
+    pub max_retries: u32,
+    /// Base retry backoff (doubled per attempt, jittered).
+    pub retry_backoff: TimeSpan,
+    /// Ingest ticks between scheduled flushes in [`StreamPipeline::run`].
+    pub flush_every: u64,
+    /// Seed for the deterministic retry-jitter stream.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig {
+            shards: constants::DEFAULT_SHARDS,
+            queue_capacity: constants::DEFAULT_QUEUE_CAPACITY,
+            reorder_capacity: constants::DEFAULT_REORDER_CAPACITY,
+            backpressure: BackpressurePolicy::BlockProducer,
+            lateness: Some(TimeSpan::from_secs(constants::DEFAULT_LATENESS_SECS)),
+            interval: TimeSpan::from_secs(1.0),
+            imputation: ImputationPolicy::LastObservation,
+            max_retries: constants::DEFAULT_MAX_RETRIES,
+            retry_backoff: TimeSpan::from_secs(constants::DEFAULT_RETRY_BACKOFF_SECS),
+            flush_every: constants::DEFAULT_FLUSH_EVERY,
+            seed: 0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Sets the shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> StreamConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> StreamConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-shard reorder capacity.
+    pub fn with_reorder_capacity(mut self, capacity: usize) -> StreamConfig {
+        self.reorder_capacity = capacity;
+        self
+    }
+
+    /// Sets the backpressure policy.
+    pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> StreamConfig {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Sets the lateness bound (`None` = infinite).
+    pub fn with_lateness(mut self, bound: Option<TimeSpan>) -> StreamConfig {
+        self.lateness = bound;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> StreamConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Consumer-side state of one source: the integration sink and its trace.
+#[derive(Debug, Clone)]
+struct SourceSink {
+    label: String,
+    integrator: FaultTolerantIntegrator,
+    trace: PowerTrace,
+    faults: sustain_core::quality::FaultCounts,
+}
+
+/// One ingest shard: queue → reorder buffer → this shard's sinks.
+#[derive(Debug, Clone)]
+struct Shard {
+    queue: IngestQueue,
+    reorder: ReorderBuffer,
+    sinks: Vec<SourceSink>,
+    /// Arrival counter breaking reorder-key timestamp ties.
+    seq: u64,
+    /// Samples still out-of-order at the sink after reordering.
+    emitted_out_of_order: u64,
+}
+
+impl Shard {
+    /// Drains the queue into the reorder buffer, then releases and
+    /// integrates every ready sample. With `force` set, the watermark is
+    /// ignored and the buffer empties entirely (end-of-stream).
+    fn flush(&mut self, force: bool) {
+        while let Some(sample) = self.queue.pop() {
+            let seq = self.seq;
+            self.seq += 1;
+            match self.reorder.admit(sample, seq) {
+                Admission::Admitted => {}
+                Admission::Late => {
+                    if let Some(sink) = self.sinks.get_mut(sample.local) {
+                        sink.integrator.push(sample.at, None);
+                        sink.faults.record(FaultKind::LateArrival);
+                    }
+                }
+            }
+        }
+        let ready = if force {
+            self.reorder.drain_all()
+        } else {
+            self.reorder.drain_ready()
+        };
+        for sample in ready {
+            let Some(sink) = self.sinks.get_mut(sample.local) else {
+                continue;
+            };
+            if sink.integrator.push(sample.at, Some(sample.power)) {
+                sink.trace.push(sample.at, sample.power);
+            } else {
+                // The integrator tallied the rejection as OutOfOrder.
+                self.emitted_out_of_order += 1;
+            }
+        }
+    }
+}
+
+/// The final accounting of a finished stream.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Merged data-quality accounting across every source, including the
+    /// injector fault tallies and the streaming fault classes.
+    pub quality: DataQualityReport,
+    /// Total accounted energy (measured + imputed), summed in source order.
+    pub energy: Energy,
+    /// Ingest ticks driven through the pipeline.
+    pub ticks: u64,
+    /// Number of sources.
+    pub sources: usize,
+    /// Hierarchical roll-up of every source's observed trace.
+    pub tree: TraceTree,
+    /// Ticks whose reading was lost at the meter (dropout or exhausted
+    /// retries).
+    pub lost_reads: u64,
+    /// Retry attempts issued after timed-out reads.
+    pub retries: u64,
+    /// Offers refused by full queues under `BlockProducer`.
+    pub blocked_offers: u64,
+    /// Samples released past the watermark by reorder-capacity pressure.
+    pub forced_releases: u64,
+}
+
+impl StreamReport {
+    /// Whether every `(tick, source)` pair is accounted for: expected
+    /// samples equal `ticks × sources`, and the shortfall between expected
+    /// and observed equals the tallied losses (lost reads, queue drops,
+    /// late arrivals, residual out-of-order rejections).
+    pub fn is_conserved(&self) -> bool {
+        let faults = &self.quality.faults;
+        self.quality.expected_samples == self.ticks * self.sources as u64
+            && self.quality.expected_samples - self.quality.observed_samples
+                == self.lost_reads + faults.queue_drops + faults.late_arrivals + faults.out_of_order
+    }
+
+    /// Streaming-estimate error relative to a reference energy, as a
+    /// fraction of the reference (0 when the reference is zero).
+    pub fn relative_error(&self, reference: Energy) -> f64 {
+        let reference_j = reference.as_joules();
+        // lint:allow(float-eq) exact-zero guard against division by zero
+        if reference_j == 0.0 {
+            return 0.0;
+        }
+        ((self.energy.as_joules() - reference_j) / reference_j).abs()
+    }
+}
+
+/// The streaming ingestion pipeline. See the module docs for the stage
+/// model and the conservation/determinism contracts.
+///
+/// ```rust
+/// use sustain_stream::pipeline::{StreamConfig, StreamPipeline};
+/// use sustain_telemetry::faults::FaultPlan;
+/// use sustain_core::units::{Power, TimeSpan};
+///
+/// let mut pipe = StreamPipeline::new(StreamConfig::default());
+/// pipe.add_source("rack0/host0", &FaultPlan::none());
+/// pipe.add_source("rack0/host1", &FaultPlan::none());
+/// pipe.run(600, |_source, _at| Power::from_watts(250.0));
+/// let report = pipe.finish();
+/// assert!(report.is_conserved());
+/// assert_eq!(report.quality.expected_samples, 1200);
+/// // 2 sources × 250 W × 599 s of covered window.
+/// assert!((report.energy.as_joules() - 2.0 * 250.0 * 599.0).abs() < 1e-6);
+/// ```
+#[derive(Debug)]
+pub struct StreamPipeline {
+    config: StreamConfig,
+    sources: Vec<MeterSource>,
+    shards: Vec<Shard>,
+    obs: Obs,
+    ticks: u64,
+    flushes: u64,
+    published_late: u64,
+    published_ooo: u64,
+}
+
+impl StreamPipeline {
+    /// Creates an empty pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `shards`, `queue_capacity`, `reorder_capacity`, or
+    /// `flush_every` is zero, or if `interval` is non-positive.
+    pub fn new(config: StreamConfig) -> StreamPipeline {
+        assert!(config.shards > 0, "shard count must be positive");
+        assert!(config.flush_every > 0, "flush_every must be positive");
+        assert!(
+            config.interval.as_secs() > 0.0,
+            "sampling interval must be positive"
+        );
+        let shards = (0..config.shards)
+            .map(|_| Shard {
+                queue: IngestQueue::new(config.queue_capacity, config.backpressure),
+                reorder: ReorderBuffer::new(config.reorder_capacity, config.lateness),
+                sinks: Vec::new(),
+                seq: 0,
+                emitted_out_of_order: 0,
+            })
+            .collect();
+        StreamPipeline {
+            config,
+            sources: Vec::new(),
+            shards,
+            obs: sustain_obs::handle(),
+            ticks: 0,
+            flushes: 0,
+            published_late: 0,
+            published_ooo: 0,
+        }
+    }
+
+    /// Replaces the observability handle captured at construction.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> StreamPipeline {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Registers a meter stream. `label` becomes the source's node path in
+    /// the final [`TraceTree`]; `plan` is its fault mixture (per-stream
+    /// decorrelated from the plan seed by the label, as in
+    /// [`sustain_telemetry::faults::FaultInjector`]).
+    pub fn add_source(&mut self, label: &str, plan: &FaultPlan) -> &mut StreamPipeline {
+        let shard = (crate::source_shard_hash(label) % self.config.shards as u64) as usize;
+        let Some(shard_state) = self.shards.get_mut(shard) else {
+            return self; // unreachable: shard is reduced modulo len
+        };
+        let local = shard_state.sinks.len();
+        shard_state.sinks.push(SourceSink {
+            label: label.to_owned(),
+            integrator: FaultTolerantIntegrator::new(self.config.interval, self.config.imputation),
+            trace: PowerTrace::new(),
+            faults: sustain_core::quality::FaultCounts::default(),
+        });
+        self.sources
+            .push(MeterSource::new(label, plan, shard, local));
+        self
+    }
+
+    /// Number of registered sources.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Ticks ingested so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total samples currently buffered across every shard's queue and
+    /// reorder buffer — the pipeline's steady-state memory footprint in
+    /// samples, bounded by `shards × (queue + reorder capacity)`.
+    pub fn buffered(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.queue.len() + s.reorder.len())
+            .sum()
+    }
+
+    /// Ingests one sampling tick: reads every source at the current
+    /// nominal time and routes the samples (or their tombstones) through
+    /// the shards.
+    pub fn ingest_tick<F>(&mut self, truth: F)
+    where
+        F: Fn(usize, TimeSpan) -> Power,
+    {
+        let at = self.config.interval * self.ticks as f64;
+        for idx in 0..self.sources.len() {
+            let power = truth(idx, at);
+            let Some(source) = self.sources.get_mut(idx) else {
+                continue;
+            };
+            let (shard, local) = (source.shard, source.local);
+            match source.read(
+                at,
+                self.config.interval,
+                power,
+                self.config.max_retries,
+                self.config.retry_backoff,
+                self.config.seed,
+            ) {
+                MeterRead::Sample(t, p) => self.route(
+                    shard,
+                    Sample {
+                        local,
+                        at: t,
+                        power: p,
+                    },
+                ),
+                MeterRead::Lost => {
+                    // Tombstone: the tick is expected but unobserved, so
+                    // the integrator's gap detection will impute across it.
+                    if let Some(sink) = self
+                        .shards
+                        .get_mut(shard)
+                        .and_then(|s| s.sinks.get_mut(local))
+                    {
+                        sink.integrator.push(at, None);
+                    }
+                }
+            }
+        }
+        self.ticks += 1;
+        if self.obs.enabled() {
+            self.obs
+                .gauge("stream_buffered_samples")
+                .set(self.buffered() as f64);
+        }
+    }
+
+    /// Routes one sample into its shard's queue, honouring backpressure.
+    fn route(&mut self, shard_idx: usize, sample: Sample) {
+        loop {
+            let Some(shard) = self.shards.get_mut(shard_idx) else {
+                return;
+            };
+            match shard.queue.offer(sample) {
+                Offer::Accepted => return,
+                Offer::Evicted(old) => {
+                    // The evicted sample is lost before any consumer saw
+                    // it: tombstone its tick and tally the drop.
+                    if let Some(sink) = shard.sinks.get_mut(old.local) {
+                        sink.integrator.push(old.at, None);
+                        sink.faults.record(FaultKind::QueueDrop);
+                    }
+                    return;
+                }
+                Offer::Full => {
+                    // BlockProducer: the producer waits for the consumer —
+                    // in simulated time, drain this shard now and retry.
+                    shard.flush(false);
+                }
+            }
+        }
+    }
+
+    /// Flushes every shard in parallel: queues drain through the reorder
+    /// buffers and ready samples integrate into their sinks. Shards are
+    /// independent, so [`ParPool`]'s submission-order join keeps the
+    /// result byte-identical at any thread count.
+    pub fn flush(&mut self) {
+        let _span = self.obs.span("stream.flush");
+        let shards = std::mem::take(&mut self.shards);
+        self.shards = ParPool::current().map_indexed(shards, |_, mut shard| {
+            shard.flush(false);
+            shard
+        });
+        self.flushes += 1;
+        self.publish_metrics();
+    }
+
+    /// Drives `ticks` sampling ticks with periodic flushes (every
+    /// `flush_every` ticks), under a `stream.run` span.
+    pub fn run<F>(&mut self, ticks: u64, truth: F)
+    where
+        F: Fn(usize, TimeSpan) -> Power,
+    {
+        let _span = self.obs.span("stream.run");
+        for i in 0..ticks {
+            self.ingest_tick(&truth);
+            if (i + 1) % self.config.flush_every == 0 {
+                self.flush();
+            }
+        }
+    }
+
+    /// Publishes accumulated shard tallies as obs counters, in shard order
+    /// (deterministic: called only from the single-threaded control path).
+    fn publish_metrics(&mut self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let late: u64 = self.shards.iter().map(|s| s.reorder.late()).sum();
+        let ooo: u64 = self.shards.iter().map(|s| s.emitted_out_of_order).sum();
+        let drops: u64 = self.shards.iter().map(|s| s.queue.evicted()).sum();
+        let blocked: u64 = self.shards.iter().map(|s| s.queue.blocked()).sum();
+        let retries: u64 = self.sources.iter().map(|s| s.retries()).sum();
+        let lost: u64 = self.sources.iter().map(|s| s.lost()).sum();
+        self.obs
+            .counter("stream_late_samples_total")
+            .add((late - self.published_late) as f64);
+        self.obs
+            .counter("stream_out_of_order_total")
+            .add((ooo - self.published_ooo) as f64);
+        self.published_late = late;
+        self.published_ooo = ooo;
+        // Queue/source tallies are monotone snapshots; gauges carry them.
+        self.obs.gauge("stream_queue_drops").set(drops as f64);
+        self.obs.gauge("stream_blocked_offers").set(blocked as f64);
+        self.obs.gauge("stream_retries").set(retries as f64);
+        self.obs.gauge("stream_lost_reads").set(lost as f64);
+    }
+
+    /// Finishes the stream: drains every shard completely (watermark
+    /// ignored), folds the injector fault tallies into the per-source
+    /// reports, and merges everything **in global source order** so the
+    /// result is independent of sharding.
+    pub fn finish(mut self) -> StreamReport {
+        {
+            let _span = self.obs.span("stream.finish");
+            let shards = std::mem::take(&mut self.shards);
+            self.shards = ParPool::current().map_indexed(shards, |_, mut shard| {
+                shard.flush(true);
+                shard
+            });
+            self.publish_metrics();
+        }
+
+        let mut quality = DataQualityReport::default();
+        let mut energy = Energy::ZERO;
+        let mut tree = TraceTree::new();
+        for source in &self.sources {
+            let Some(sink) = self
+                .shards
+                .get_mut(source.shard)
+                .and_then(|s| s.sinks.get_mut(source.local))
+            else {
+                continue;
+            };
+            sink.integrator.merge_faults(&source.fault_counts());
+            let streaming_faults = sink.faults;
+            sink.integrator.merge_faults(&streaming_faults);
+            quality.merge(&sink.integrator.report());
+            energy += sink.integrator.energy();
+            tree.insert(sink.label.clone(), sink.trace.clone());
+        }
+
+        let report = StreamReport {
+            quality,
+            energy,
+            ticks: self.ticks,
+            sources: self.sources.len(),
+            tree,
+            lost_reads: self.sources.iter().map(|s| s.lost()).sum(),
+            retries: self.sources.iter().map(|s| s.retries()).sum(),
+            blocked_offers: self.shards.iter().map(|s| s.queue.blocked()).sum(),
+            forced_releases: self
+                .shards
+                .iter()
+                .map(|s| s.reorder.forced_releases())
+                .sum(),
+        };
+        if self.obs.enabled() {
+            self.obs.event(
+                "stream.finished",
+                &[
+                    ("ticks", (report.ticks as f64).into()),
+                    ("sources", (report.sources as f64).into()),
+                    ("energy_j", report.energy.as_joules().into()),
+                    ("coverage", report.quality.coverage().value().into()),
+                ],
+            );
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_truth(_source: usize, _at: TimeSpan) -> Power {
+        Power::from_watts(200.0)
+    }
+
+    fn small_config() -> StreamConfig {
+        StreamConfig {
+            shards: 2,
+            queue_capacity: 32,
+            reorder_capacity: 16,
+            flush_every: 16,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_stream_is_pristine_and_conserved() {
+        let mut pipe = StreamPipeline::new(small_config());
+        for i in 0..5 {
+            pipe.add_source(&format!("rack0/host{i}"), &FaultPlan::none());
+        }
+        pipe.run(200, constant_truth);
+        let report = pipe.finish();
+        assert!(report.is_conserved());
+        assert!(report.quality.is_pristine());
+        assert_eq!(report.quality.expected_samples, 1000);
+        assert_eq!(report.quality.observed_samples, 1000);
+        // 5 sources × 200 W × 199 s.
+        assert!((report.energy.as_joules() - 5.0 * 200.0 * 199.0).abs() < 1e-6);
+        assert_eq!(report.tree.len(), 5);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.lost_reads, 0);
+    }
+
+    #[test]
+    fn faulty_stream_stays_conserved() {
+        let plan = FaultPlan::degraded().with_seed(17).with_dropout(0.05);
+        let mut pipe = StreamPipeline::new(small_config());
+        for i in 0..6 {
+            pipe.add_source(&format!("rack{}/host{}", i / 3, i % 3), &plan);
+        }
+        pipe.run(400, constant_truth);
+        let report = pipe.finish();
+        assert!(report.is_conserved(), "conservation: {report:?}");
+        assert!(report.lost_reads > 0, "dropouts must lose some reads");
+        assert!(!report.quality.is_pristine());
+        assert!(report.quality.coverage().value() < 1.0);
+        assert!(report.quality.imputed_energy > Energy::ZERO);
+    }
+
+    #[test]
+    fn drop_oldest_under_tiny_queue_tallies_queue_drops() {
+        let config = StreamConfig {
+            shards: 1,
+            queue_capacity: 4,
+            reorder_capacity: 4,
+            backpressure: BackpressurePolicy::DropOldest,
+            // Flush far less often than the queue fills.
+            flush_every: 1000,
+            ..StreamConfig::default()
+        };
+        let mut pipe = StreamPipeline::new(config);
+        pipe.add_source("host0", &FaultPlan::none());
+        pipe.run(100, constant_truth);
+        let report = pipe.finish();
+        assert!(report.is_conserved(), "conservation: {report:?}");
+        assert!(
+            report.quality.faults.queue_drops > 0,
+            "tiny queue must evict: {report:?}"
+        );
+        assert!(report.quality.coverage().value() < 1.0);
+    }
+
+    #[test]
+    fn block_producer_never_loses_a_sample() {
+        let config = StreamConfig {
+            shards: 1,
+            queue_capacity: 4,
+            reorder_capacity: 4,
+            backpressure: BackpressurePolicy::BlockProducer,
+            flush_every: 1000,
+            ..StreamConfig::default()
+        };
+        let mut pipe = StreamPipeline::new(config);
+        pipe.add_source("host0", &FaultPlan::none());
+        pipe.run(100, constant_truth);
+        let report = pipe.finish();
+        assert!(report.is_conserved());
+        assert!(report.blocked_offers > 0, "the producer must have stalled");
+        assert!(report.quality.is_pristine(), "but nothing may be lost");
+        assert_eq!(report.quality.observed_samples, 100);
+    }
+
+    #[test]
+    fn tight_lateness_with_skew_routes_late_samples_to_imputation() {
+        // Heavy clock skew with a sub-interval lateness bound: some
+        // samples must arrive behind the watermark.
+        let plan = FaultPlan::none().with_seed(23).with_clock_skew(1.0);
+        let config = StreamConfig {
+            shards: 1,
+            queue_capacity: 8,
+            reorder_capacity: 8,
+            lateness: Some(TimeSpan::from_secs(0.05)),
+            flush_every: 4,
+            ..StreamConfig::default()
+        };
+        let mut pipe = StreamPipeline::new(config);
+        for i in 0..4 {
+            pipe.add_source(&format!("host{i}"), &plan);
+        }
+        pipe.run(500, constant_truth);
+        let report = pipe.finish();
+        assert!(report.is_conserved(), "conservation: {report:?}");
+        let f = &report.quality.faults;
+        assert!(
+            f.late_arrivals + f.out_of_order > 0,
+            "skew against a 50 ms bound must strand someone: {report:?}"
+        );
+    }
+
+    #[test]
+    fn buffered_memory_stays_bounded() {
+        let config = StreamConfig {
+            shards: 2,
+            queue_capacity: 8,
+            reorder_capacity: 4,
+            backpressure: BackpressurePolicy::DropOldest,
+            flush_every: 10_000,
+            ..StreamConfig::default()
+        };
+        let bound = 2 * (8 + 4);
+        let mut pipe = StreamPipeline::new(config);
+        for i in 0..8 {
+            pipe.add_source(&format!("host{i}"), &FaultPlan::none());
+        }
+        for _ in 0..500 {
+            pipe.ingest_tick(constant_truth);
+            assert!(
+                pipe.buffered() <= bound,
+                "buffered {} > {bound}",
+                pipe.buffered()
+            );
+        }
+        let report = pipe.finish();
+        assert!(report.is_conserved());
+    }
+
+    #[test]
+    fn obs_counters_and_events_flow() {
+        let obs = sustain_obs::ObsConfig::enabled().build();
+        let plan = FaultPlan::none().with_seed(3).with_clock_skew(1.0);
+        let config = StreamConfig {
+            shards: 1,
+            queue_capacity: 16,
+            reorder_capacity: 8,
+            lateness: Some(TimeSpan::from_secs(0.01)),
+            flush_every: 8,
+            ..StreamConfig::default()
+        };
+        let mut pipe = StreamPipeline::new(config).with_obs(&obs);
+        for i in 0..4 {
+            pipe.add_source(&format!("host{i}"), &plan);
+        }
+        pipe.run(300, constant_truth);
+        let report = pipe.finish();
+        let late_counter = obs.counter("stream_late_samples_total").value();
+        assert!(
+            (late_counter - report.quality.faults.late_arrivals as f64).abs() < 1e-9,
+            "counter {late_counter} vs report {}",
+            report.quality.faults.late_arrivals
+        );
+        assert!(obs.events().iter().any(|e| matches!(
+            e,
+            sustain_obs::EventRecord::Instant { name, .. } if *name == "stream.finished"
+        )));
+    }
+
+    #[test]
+    fn report_is_identical_for_any_shard_count() {
+        let plan = FaultPlan::degraded().with_seed(29);
+        let run = |shards: usize| {
+            let config = StreamConfig {
+                shards,
+                queue_capacity: 64,
+                reorder_capacity: 32,
+                flush_every: 16,
+                ..StreamConfig::default()
+            };
+            let mut pipe = StreamPipeline::new(config);
+            for i in 0..6 {
+                pipe.add_source(&format!("rack{}/host{}", i / 3, i % 3), &plan);
+            }
+            pipe.run(300, constant_truth);
+            pipe.finish()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.quality, four.quality);
+        assert_eq!(one.energy, four.energy);
+        assert_eq!(one.tree, four.tree);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_rejected() {
+        let _ = StreamPipeline::new(StreamConfig {
+            shards: 0,
+            ..StreamConfig::default()
+        });
+    }
+}

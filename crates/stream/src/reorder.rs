@@ -1,0 +1,267 @@
+//! Watermark-based reordering of out-of-order samples.
+//!
+//! Clock skew, retry backoff, and multi-source fan-in all deliver samples
+//! out of timestamp order, but the monotone integration path
+//! ([`sustain_telemetry::meter::FaultTolerantIntegrator`]) rejects
+//! regressions. A [`ReorderBuffer`] sits in between: it holds samples in a
+//! time-ordered buffer and only releases those older than the *watermark*
+//! — the newest timestamp seen minus a configurable lateness bound — so
+//! anything arriving inside the bound is re-sequenced instead of rejected.
+//! Samples arriving *behind* the watermark are too late to admit
+//! ([`Admission::Late`]); the pipeline routes them to imputation and
+//! tallies them, never silently dropping them. The buffer is bounded: at
+//! capacity it force-releases its oldest samples (in time order, so a
+//! forced release never reorders what it emits) and counts how often.
+
+use std::collections::BTreeMap;
+
+use sustain_core::units::TimeSpan;
+
+use crate::queue::Sample;
+
+/// Outcome of [`ReorderBuffer::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The sample entered the buffer and will be released in time order.
+    Admitted,
+    /// The sample's timestamp is behind the watermark by more than the
+    /// lateness bound; route it to imputation and tally it as a
+    /// [`sustain_core::quality::FaultKind::LateArrival`].
+    Late,
+}
+
+/// Total order for buffered samples: timestamp first (IEEE-754 bit order,
+/// monotone for the non-negative times a simulation produces), arrival
+/// sequence second so equal timestamps keep arrival order.
+fn time_key(at: TimeSpan) -> u64 {
+    at.as_secs().max(0.0).to_bits()
+}
+
+/// A bounded, time-ordered staging buffer with a lateness watermark.
+///
+/// ```rust
+/// use sustain_stream::reorder::{Admission, ReorderBuffer};
+/// use sustain_stream::queue::Sample;
+/// use sustain_core::units::{Power, TimeSpan};
+///
+/// let mut buf = ReorderBuffer::new(16, Some(TimeSpan::from_secs(2.0)));
+/// let s = |at: f64| Sample {
+///     local: 0,
+///     at: TimeSpan::from_secs(at),
+///     power: Power::from_watts(100.0),
+/// };
+/// assert_eq!(buf.admit(s(10.0), 0), Admission::Admitted);
+/// // 9.0 is late but inside the 2 s bound: re-sequenced, not lost.
+/// assert_eq!(buf.admit(s(9.0), 1), Admission::Admitted);
+/// // 7.5 is behind the watermark (10 − 2 = 8): too late to admit.
+/// assert_eq!(buf.admit(s(7.5), 2), Admission::Late);
+/// // 12.0 advances the watermark to 10: the stragglers release in time
+/// // order regardless of arrival order.
+/// assert_eq!(buf.admit(s(12.0), 3), Admission::Admitted);
+/// let ready: Vec<f64> = buf.drain_ready().iter().map(|s| s.at.as_secs()).collect();
+/// assert_eq!(ready, vec![9.0, 10.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    buf: BTreeMap<(u64, u64), Sample>,
+    capacity: usize,
+    lateness: Option<TimeSpan>,
+    max_seen: Option<TimeSpan>,
+    forced: u64,
+    late: u64,
+}
+
+impl ReorderBuffer {
+    /// Creates an empty buffer releasing samples `lateness` behind the
+    /// newest seen timestamp (`None` = an infinite bound: nothing is ever
+    /// late and nothing is released until forced by capacity or a final
+    /// drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, lateness: Option<TimeSpan>) -> ReorderBuffer {
+        assert!(capacity > 0, "reorder buffer capacity must be positive");
+        ReorderBuffer {
+            buf: BTreeMap::new(),
+            capacity,
+            lateness,
+            max_seen: None,
+            forced: 0,
+            late: 0,
+        }
+    }
+
+    /// The watermark: the newest seen timestamp minus the lateness bound.
+    /// `None` until a sample has been seen, or when the bound is infinite.
+    pub fn watermark(&self) -> Option<TimeSpan> {
+        match (self.max_seen, self.lateness) {
+            (Some(max), Some(bound)) => Some(max - bound),
+            _ => None,
+        }
+    }
+
+    /// Offers a sample. `seq` is the arrival sequence number used to break
+    /// timestamp ties deterministically (pass a per-shard counter).
+    pub fn admit(&mut self, sample: Sample, seq: u64) -> Admission {
+        if let Some(mark) = self.watermark() {
+            if sample.at < mark {
+                self.late += 1;
+                return Admission::Late;
+            }
+        }
+        self.max_seen = Some(match self.max_seen {
+            Some(max) if max >= sample.at => max,
+            _ => sample.at,
+        });
+        self.buf.insert((time_key(sample.at), seq), sample);
+        Admission::Admitted
+    }
+
+    /// Releases every sample at or behind the watermark, in time order,
+    /// then force-releases oldest samples while the buffer exceeds its
+    /// capacity. Forced releases stay in time order, so they can only make
+    /// *later* stragglers miss the integrator — they never reorder what is
+    /// emitted here.
+    pub fn drain_ready(&mut self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        if let Some(mark) = self.watermark() {
+            if mark >= TimeSpan::ZERO {
+                let limit = time_key(mark);
+                while let Some(entry) = self.buf.first_entry() {
+                    if entry.key().0 > limit {
+                        break;
+                    }
+                    out.push(entry.remove());
+                }
+            }
+        }
+        while self.buf.len() > self.capacity {
+            let Some(entry) = self.buf.first_entry() else {
+                break;
+            };
+            out.push(entry.remove());
+            self.forced += 1;
+        }
+        out
+    }
+
+    /// Releases everything still buffered, in time order (end-of-stream).
+    pub fn drain_all(&mut self) -> Vec<Sample> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        while let Some(entry) = self.buf.first_entry() {
+            out.push(entry.remove());
+        }
+        out
+    }
+
+    /// Number of buffered samples.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples force-released past the watermark because the buffer was
+    /// over capacity.
+    pub fn forced_releases(&self) -> u64 {
+        self.forced
+    }
+
+    /// Samples refused as too late, so far.
+    pub fn late(&self) -> u64 {
+        self.late
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sustain_core::units::Power;
+
+    fn s(at: f64) -> Sample {
+        Sample {
+            local: 0,
+            at: TimeSpan::from_secs(at),
+            power: Power::from_watts(100.0),
+        }
+    }
+
+    #[test]
+    fn releases_in_time_order() {
+        let mut buf = ReorderBuffer::new(16, Some(TimeSpan::from_secs(1.0)));
+        // Skewed arrivals, each within the 1 s bound of the running max.
+        for (i, at) in [1.0, 0.5, 2.0, 1.5, 3.0, 2.5, 5.0].iter().enumerate() {
+            assert_eq!(buf.admit(s(*at), i as u64), Admission::Admitted);
+        }
+        // Watermark = 5 − 1 = 4: everything ≤ 4 s is ready, in time order.
+        let out: Vec<f64> = buf.drain_ready().iter().map(|x| x.at.as_secs()).collect();
+        assert_eq!(out, vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(buf.len(), 1);
+        let rest: Vec<f64> = buf.drain_all().iter().map(|x| x.at.as_secs()).collect();
+        assert_eq!(rest, vec![5.0]);
+    }
+
+    #[test]
+    fn equal_timestamps_keep_arrival_order() {
+        let mut buf = ReorderBuffer::new(16, None);
+        let mk = |local: usize| Sample {
+            local,
+            at: TimeSpan::from_secs(7.0),
+            power: Power::from_watts(1.0),
+        };
+        buf.admit(mk(2), 0);
+        buf.admit(mk(0), 1);
+        buf.admit(mk(1), 2);
+        let order: Vec<usize> = buf.drain_all().iter().map(|x| x.local).collect();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn late_samples_are_refused_and_tallied() {
+        let mut buf = ReorderBuffer::new(16, Some(TimeSpan::from_secs(2.0)));
+        buf.admit(s(10.0), 0);
+        assert_eq!(buf.admit(s(7.9), 1), Admission::Late);
+        assert_eq!(buf.admit(s(8.1), 2), Admission::Admitted);
+        assert_eq!(buf.late(), 1);
+        assert_eq!(buf.watermark(), Some(TimeSpan::from_secs(8.0)));
+    }
+
+    #[test]
+    fn infinite_bound_never_marks_late_and_holds_everything() {
+        let mut buf = ReorderBuffer::new(16, None);
+        buf.admit(s(100.0), 0);
+        assert_eq!(buf.admit(s(0.0), 1), Admission::Admitted);
+        assert!(buf.watermark().is_none());
+        assert!(buf.drain_ready().is_empty(), "nothing releases on its own");
+        assert_eq!(buf.drain_all().len(), 2);
+    }
+
+    #[test]
+    fn capacity_forces_oldest_out_in_order() {
+        let mut buf = ReorderBuffer::new(3, None);
+        for (i, at) in [5.0, 2.0, 8.0, 1.0, 9.0].iter().enumerate() {
+            buf.admit(s(*at), i as u64);
+        }
+        assert_eq!(buf.len(), 5);
+        let out: Vec<f64> = buf.drain_ready().iter().map(|x| x.at.as_secs()).collect();
+        // Over capacity by two: the two oldest leave, oldest first.
+        assert_eq!(out, vec![1.0, 2.0]);
+        assert_eq!(buf.forced_releases(), 2);
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = ReorderBuffer::new(0, None);
+    }
+}

@@ -252,6 +252,9 @@ fn kind_label(kind: FaultKind) -> &'static str {
         FaultKind::ClockSkew => "clock_skew",
         FaultKind::NoiseBurst => "noise_burst",
         FaultKind::HostCrash => "host_crash",
+        FaultKind::OutOfOrder => "out_of_order",
+        FaultKind::QueueDrop => "queue_drop",
+        FaultKind::LateArrival => "late_arrival",
         // `FaultKind` is non-exhaustive; a future class keeps compiling.
         _ => "other",
     }
@@ -267,6 +270,9 @@ fn kind_counter(kind: FaultKind) -> &'static str {
         FaultKind::ClockSkew => "telemetry_faults_clock_skew_total",
         FaultKind::NoiseBurst => "telemetry_faults_noise_burst_total",
         FaultKind::HostCrash => "telemetry_faults_host_crash_total",
+        FaultKind::OutOfOrder => "telemetry_faults_out_of_order_total",
+        FaultKind::QueueDrop => "telemetry_faults_queue_drop_total",
+        FaultKind::LateArrival => "telemetry_faults_late_arrival_total",
         _ => "telemetry_faults_other_total",
     }
 }

@@ -8,7 +8,7 @@
 //! the split as a [`DataQualityReport`]. [`sample_profile`] drives a
 //! `PowerModel` over a utilization signal to produce a `PowerTrace`.
 
-use sustain_core::quality::{DataQualityReport, FaultCounts};
+use sustain_core::quality::{DataQualityReport, FaultCounts, FaultKind};
 use sustain_core::units::{Energy, Fraction, Power, TimeSpan};
 use sustain_obs::Obs;
 
@@ -34,6 +34,7 @@ pub struct EnergyIntegrator {
     last: Option<(TimeSpan, Power)>,
     energy: Energy,
     samples: usize,
+    rejected: u64,
 }
 
 impl EnergyIntegrator {
@@ -45,10 +46,12 @@ impl EnergyIntegrator {
     /// Pushes a `(timestamp, power)` sample.
     ///
     /// Samples must arrive in non-decreasing time order; an out-of-order
-    /// sample is ignored and the method returns `false`.
+    /// sample is ignored, tallied in [`EnergyIntegrator::rejected`], and the
+    /// method returns `false`.
     pub fn push(&mut self, at: TimeSpan, power: Power) -> bool {
         if let Some((t0, p0)) = self.last {
             if at < t0 {
+                self.rejected += 1;
                 return false;
             }
             let dt = at - t0;
@@ -69,6 +72,14 @@ impl EnergyIntegrator {
     /// Number of samples pushed.
     pub fn samples(&self) -> usize {
         self.samples
+    }
+
+    /// Number of out-of-order samples rejected (and therefore *not* part of
+    /// [`EnergyIntegrator::samples`] or the energy total). A non-zero tally
+    /// means upstream ordering was violated — callers that previously
+    /// dropped the `false` return on the floor can audit it here.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Width of the sampled window (zero if fewer than 2 samples).
@@ -162,8 +173,10 @@ impl FaultTolerantIntegrator {
 
     /// Pushes one sampling tick: `Some(power)` for an observed reading,
     /// `None` for a lost one (dropout / read timeout). Out-of-order observed
-    /// samples are ignored and the method returns `false`; every call still
-    /// counts one expected tick.
+    /// samples are rejected (the method returns `false`) and tallied as
+    /// [`FaultKind::OutOfOrder`] in the report, so rejected data is never
+    /// silently absent from the accounting; every call still counts one
+    /// expected tick.
     pub fn push(&mut self, at: TimeSpan, sample: Option<Power>) -> bool {
         self.push_inner(at, sample, None)
     }
@@ -184,6 +197,19 @@ impl FaultTolerantIntegrator {
         };
         if let Some((t0, p0)) = self.last {
             if at < t0 {
+                // An observed sample we cannot integrate: tally it so the
+                // report's coverage stops silently overstating measured data.
+                self.faults.record(FaultKind::OutOfOrder);
+                if let Some(obs) = obs.filter(|o| o.enabled()) {
+                    obs.event(
+                        "meter.rejected_sample",
+                        &[
+                            ("at_s", at.as_secs().into()),
+                            ("last_s", t0.as_secs().into()),
+                        ],
+                    );
+                    obs.counter("meter_rejected_samples_total").inc();
+                }
                 return false;
             }
             let dt = at - t0;
@@ -340,6 +366,7 @@ mod tests {
         assert!(m.push(TimeSpan::from_secs(5.0), Power::from_watts(1.0)));
         assert!(!m.push(TimeSpan::from_secs(4.0), Power::from_watts(1.0)));
         assert_eq!(m.samples(), 1);
+        assert_eq!(m.rejected(), 1);
     }
 
     #[test]
@@ -485,13 +512,31 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_observed_sample_is_ignored() {
+    fn out_of_order_observed_sample_is_ignored_but_tallied() {
         let mut m = ft(ImputationPolicy::Linear);
         assert!(m.push(TimeSpan::from_secs(5.0), Some(Power::from_watts(1.0))));
         assert!(!m.push(TimeSpan::from_secs(4.0), Some(Power::from_watts(1.0))));
         let q = m.report();
         assert_eq!(q.expected_samples, 2);
         assert_eq!(q.observed_samples, 1);
+        // The rejection is visible in the report, not dropped on the floor.
+        assert_eq!(q.faults.out_of_order, 1);
+        assert!(!q.is_pristine());
+    }
+
+    #[test]
+    fn rejected_sample_emits_obs_event_on_traced_path() {
+        use sustain_obs::ObsConfig;
+        let obs = ObsConfig::enabled().build();
+        let mut m = ft(ImputationPolicy::Linear);
+        assert!(m.push_traced(TimeSpan::from_secs(5.0), Some(Power::from_watts(1.0)), &obs));
+        assert!(!m.push_traced(TimeSpan::from_secs(4.0), Some(Power::from_watts(1.0)), &obs));
+        assert!((obs.counter("meter_rejected_samples_total").value() - 1.0).abs() < 1e-12);
+        let events = obs.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            sustain_obs::EventRecord::Instant { name, .. } if *name == "meter.rejected_sample"
+        )));
     }
 
     #[test]

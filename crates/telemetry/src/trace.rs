@@ -36,6 +36,10 @@ pub struct GapFill {
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PowerTrace {
     samples: Vec<(TimeSpan, Power)>,
+    /// Out-of-order pushes rejected since construction — kept on the trace
+    /// so a collector that ignored `push`'s return value still cannot lose
+    /// samples invisibly.
+    rejected: u64,
 }
 
 impl PowerTrace {
@@ -44,15 +48,22 @@ impl PowerTrace {
         PowerTrace::default()
     }
 
-    /// Appends a sample. Out-of-order timestamps are ignored (returns `false`).
+    /// Appends a sample. Out-of-order timestamps are rejected (returns
+    /// `false`) and tallied in [`PowerTrace::rejected`].
     pub fn push(&mut self, at: TimeSpan, power: Power) -> bool {
         if let Some(&(last, _)) = self.samples.last() {
             if at < last {
+                self.rejected += 1;
                 return false;
             }
         }
         self.samples.push((at, power));
         true
+    }
+
+    /// Number of out-of-order pushes rejected since construction.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Number of samples.
@@ -366,6 +377,7 @@ mod tests {
         assert!(t.push(TimeSpan::from_secs(5.0), Power::from_watts(1.0)));
         assert!(!t.push(TimeSpan::from_secs(1.0), Power::from_watts(1.0)));
         assert_eq!(t.len(), 1);
+        assert_eq!(t.rejected(), 1, "the rejection must be tallied");
     }
 
     #[test]

@@ -12,7 +12,15 @@ use crate::{Diagnostic, FileClass, Rule};
 
 /// Crates whose simulations must stay seed-reproducible (rules 4 and the
 /// graph rules `determinism-taint` / `const-provenance`).
-pub(crate) const SIM_CRATES: &[&str] = &["fleet", "edge", "telemetry", "obs", "par", "cache"];
+pub(crate) const SIM_CRATES: &[&str] = &[
+    "fleet",
+    "edge",
+    "telemetry",
+    "obs",
+    "par",
+    "cache",
+    "stream",
+];
 
 /// Crates allowed to touch raw thread primitives (rule 5 carve-out):
 /// `sustain-par` owns the scoped-thread pool, `sustain-obs` needs threads in

@@ -45,6 +45,7 @@ const OBS_HOT_FILES: &[&str] = &[
     "crates/telemetry/src/meter.rs",
     "crates/telemetry/src/tracker.rs",
     "crates/telemetry/src/faults.rs",
+    "crates/stream/src/pipeline.rs",
 ];
 
 /// Identifiers that count as observability evidence in a fn body: span

@@ -793,6 +793,71 @@ fn fix_allow_renders_paste_ready_lines() {
     assert_clean(SIM_LIB, &patched);
 }
 
+// ----------------------------------------------------------- stream crate
+
+/// The streaming pipeline is both a SIM crate member and an obs-coverage
+/// hot file; the planted router fixture must trip both graph rules there.
+const STREAM_PIPELINE: &str = "crates/stream/src/pipeline.rs";
+
+#[test]
+fn stream_pipeline_fixture_trips_taint_and_obs_coverage() {
+    let src = include_str!("fixtures/stream_gap.rs");
+    let hits = rules_hit(STREAM_PIPELINE, src);
+    assert!(hits.contains(&Rule::DeterminismTaint), "got {hits:?}");
+    assert!(hits.contains(&Rule::ObsCoverage), "got {hits:?}");
+}
+
+#[test]
+fn stream_fixture_clean_when_ordered_and_instrumented() {
+    // The corrected form of the same router: BTreeMap ordering plus span
+    // evidence in the drain loop.
+    let src = "use std::collections::BTreeMap;\n\
+               pub struct ShardRouter {\n\
+               \x20   depths: BTreeMap<u64, usize>,\n\
+               }\n\
+               impl ShardRouter {\n\
+               \x20   pub fn drain_backlog(&mut self, o: &Obs) -> usize {\n\
+               \x20       let _span = o.span(\"stream.drain\");\n\
+               \x20       let mut drained = 0;\n\
+               \x20       for (_shard, depth) in self.depths.iter() { drained += depth; }\n\
+               \x20       drained\n\
+               \x20   }\n\
+               }\n";
+    assert_clean(STREAM_PIPELINE, src);
+}
+
+#[test]
+fn stream_graph_rules_scope_to_the_hot_path() {
+    // Same source outside the sim crates: neither graph rule fires.
+    let src = include_str!("fixtures/stream_gap.rs");
+    let diags = lint_source(CORE_LIB, src);
+    assert!(
+        !diags
+            .iter()
+            .any(|d| matches!(d.rule, Rule::DeterminismTaint | Rule::ObsCoverage)),
+        "got {diags:?}"
+    );
+    // And in a stream file that is not the pipeline hot file, only the
+    // taint rule (crate-wide) applies, not obs-coverage (file-scoped).
+    let diags = lint_source("crates/stream/src/queue.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::DeterminismTaint),
+        "got {diags:?}"
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == Rule::ObsCoverage),
+        "got {diags:?}"
+    );
+}
+
+#[test]
+fn stream_crate_bans_nondeterminism_sources() {
+    // SIM_CRATES membership also turns on the point determinism rule.
+    let src = "fn f() { let _r = rand::thread_rng(); }\n";
+    let hits = rules_hit("crates/stream/src/source.rs", src);
+    assert!(hits.contains(&Rule::Determinism), "got {hits:?}");
+}
+
 #[test]
 fn fix_allow_reports_clean_lint() {
     assert!(xtask::render_fix_allow(&[]).contains("clean"));

@@ -1,0 +1,21 @@
+//! Planted fixture: a streaming shard router with the two defects the
+//! `sustain-stream` lint coverage must catch — queue depths folded by
+//! iterating a `HashMap` (determinism-taint: shard order would depend on
+//! hash state), and a public drain loop with no instrumentation evidence
+//! (`crates/stream/src/pipeline.rs` is an obs-coverage hot file).
+
+use std::collections::HashMap;
+
+pub struct ShardRouter {
+    depths: HashMap<u64, usize>,
+}
+
+impl ShardRouter {
+    pub fn drain_backlog(&mut self) -> usize {
+        let mut drained = 0;
+        for (_shard, depth) in self.depths.iter() {
+            drained += depth;
+        }
+        drained
+    }
+}

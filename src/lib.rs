@@ -9,6 +9,9 @@
 //!
 //! * [`core`] — units, carbon intensity, PUE, embodied LCA, footprint reports.
 //! * [`telemetry`] — simulated power meters and job-level carbon tracking.
+//! * [`stream`] — bounded-memory streaming telemetry ingestion: sharded
+//!   backpressure queues, watermark reordering, retrying meter reads, and
+//!   a validation harness scoring degradation against exact integration.
 //! * [`workload`] — ML model descriptors, job distributions, scaling laws.
 //! * [`fleet`] — datacenter fleet simulation and carbon-aware scheduling.
 //! * [`optim`] — the optimization-pass framework (caching, quantization, …).
@@ -48,5 +51,6 @@ pub use sustain_fleet as fleet;
 pub use sustain_obs as obs;
 pub use sustain_optim as optim;
 pub use sustain_par as par;
+pub use sustain_stream as stream;
 pub use sustain_telemetry as telemetry;
 pub use sustain_workload as workload;
