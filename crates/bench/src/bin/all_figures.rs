@@ -16,13 +16,22 @@
 //! each pool task a `par.task` span, every cache lookup a `cache.lookup`
 //! span settling as a `cache.hit`/`cache.miss` event, the instrumented
 //! simulators (fleet phases, chaos, telemetry faults, gap imputation, FL
-//! rounds, carbon tracker) report through the same recorder, and three
+//! rounds, carbon tracker) report through the same recorder, and five
 //! exports land in `<dir>`:
 //!
 //! * `events.jsonl` — the structured event log,
 //! * `trace.json` — Chrome trace-event JSON (open in Perfetto),
 //! * `metrics.prom` — Prometheus text exposition of all counters/gauges/
-//!   histograms.
+//!   histograms,
+//! * `profile.txt` — the `sustain-prof` hotspot report (per-span-name self
+//!   time, calls, min/median/max, critical path),
+//! * `flame.folded` — collapsed stacks for any stock flamegraph renderer.
+//!
+//! `--obs-clock wall` (the default) stamps spans with real elapsed time —
+//! the profile finds actual hotspots. `--obs-clock sim` stamps spans from
+//! the deterministic work counter instead: durations count work units, and
+//! `profile.txt`/`flame.folded` are byte-identical across thread counts and
+//! across runs — safe to diff in CI.
 //!
 //! Stdout is byte-identical with and without `--obs`; the observability
 //! summary goes to stderr.
@@ -36,6 +45,7 @@ use sustain_par::ParPool;
 
 struct Args {
     obs_dir: Option<PathBuf>,
+    sim_clock: bool,
     threads: Option<usize>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
@@ -47,7 +57,8 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("{msg}");
             eprintln!(
-                "usage: all_figures [--obs <dir>] [--threads <n>] [--cache <dir>] [--no-cache]"
+                "usage: all_figures [--obs <dir>] [--obs-clock wall|sim] [--threads <n>] \
+                 [--cache <dir>] [--no-cache]"
             );
             return ExitCode::FAILURE;
         }
@@ -90,7 +101,11 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     };
 
-    let obs = ObsConfig::enabled().with_wall_clock().build();
+    let obs = if args.sim_clock {
+        ObsConfig::enabled().build() // deterministic work-counter clock
+    } else {
+        ObsConfig::enabled().with_wall_clock().build()
+    };
     sustain_obs::install(&obs);
     print_all(cache.as_ref().map(|(_, c)| c));
     coverage_sweep();
@@ -130,6 +145,7 @@ fn main() -> ExitCode {
 fn parse_args() -> Result<Args, String> {
     let mut parsed = Args {
         obs_dir: None,
+        sim_clock: false,
         threads: None,
         cache_dir: None,
         no_cache: false,
@@ -140,6 +156,11 @@ fn parse_args() -> Result<Args, String> {
             "--obs" => match args.next() {
                 Some(dir) => parsed.obs_dir = Some(PathBuf::from(dir)),
                 None => return Err("--obs requires an output directory".to_string()),
+            },
+            "--obs-clock" => match args.next().as_deref() {
+                Some("wall") => parsed.sim_clock = false,
+                Some("sim") => parsed.sim_clock = true,
+                _ => return Err("--obs-clock requires `wall` or `sim`".to_string()),
             },
             "--threads" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => parsed.threads = Some(n),
@@ -193,10 +214,21 @@ fn coverage_sweep() {
     let _ = tracker.report(AccountingBasis::LocationBased);
 }
 
+/// Hotspot rows printed in `profile.txt` — every span name this workspace
+/// records fits well inside this, so nothing is silently truncated.
+const PROFILE_TOP_K: usize = 64;
+
 fn write_exports(obs: &Obs, dir: &std::path::Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     std::fs::write(dir.join("events.jsonl"), obs.export_jsonl())?;
     std::fs::write(dir.join("trace.json"), obs.export_chrome_trace())?;
     std::fs::write(dir.join("metrics.prom"), obs.export_prometheus())?;
+    let tree = sustain_prof::SpanTree::from_records(&obs.events());
+    let profile = sustain_prof::Profile::from_tree(&tree);
+    std::fs::write(
+        dir.join("profile.txt"),
+        sustain_prof::report::render(&profile, PROFILE_TOP_K),
+    )?;
+    std::fs::write(dir.join("flame.folded"), sustain_prof::to_folded(&tree))?;
     Ok(())
 }

@@ -30,6 +30,13 @@ use sustain_stream::queue::Sample;
 use sustain_stream::validate;
 use sustain_telemetry::faults::FaultPlan;
 
+/// Version of the `BENCH_par.json` layout. Bumped whenever row names or
+/// structure change so `cargo xtask perf --check` can refuse to compare a
+/// baseline written by a different layout instead of misreading it.
+/// History: 1 = unversioned seed layout; 2 = adds `schema_version` + `host`
+/// fingerprint.
+const SCHEMA_VERSION: u64 = 2;
+
 struct Args {
     quick: bool,
     reps: usize,
@@ -165,7 +172,9 @@ fn main() -> ExitCode {
             .to_string()
     };
     let json = format!(
-        "{{\n  \"bench\": \"par_fanout\",\n  \"reps\": {},\n  \"threads\": {},\n  \
+        "{{\n  \"bench\": \"par_fanout\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \
+         \"host\": {{\"available_parallelism\": {hardware}, \"os\": \"{}\"}},\n  \
+         \"reps\": {},\n  \"threads\": {},\n  \
          \"available_parallelism\": {},\n  \"quick\": {},\n  \"fanout\": {{\n    \
          \"tables\": {},\n    \"serial\": {},\n    \"parallel\": {},\n    \
          {}\n  }},\n  \"cache\": {{\n    \
@@ -175,6 +184,7 @@ fn main() -> ExitCode {
          \"samples_per_sec_serial\": {:.0},\n    \"samples_per_sec_parallel\": {:.0},\n    \
          \"peak_buffered_samples\": {},\n    \"peak_buffered_bytes\": {}\n  }},\n  \
          \"figures\": {}\n}}\n",
+        std::env::consts::OS,
         args.reps,
         args.threads,
         hardware,

@@ -34,6 +34,13 @@ pub trait ClockSource: Send + Sync + fmt::Debug {
     /// wall clocks ignore it).
     fn set(&self, _to: TimeSpan) {}
 
+    /// Advances the clock by a relative amount (simulated clocks accept it;
+    /// wall clocks ignore it). Instrumented hot loops use this as a
+    /// deterministic *work counter*: each unit of work nudges the simulated
+    /// timeline forward, so span durations on a [`SimClock`] measure work
+    /// done rather than wall time — byte-identical across thread counts.
+    fn advance(&self, _by: TimeSpan) {}
+
     /// A clock for one parallel task forked off this one, or `None` when the
     /// task should share this clock. Simulated clocks fork (each task's
     /// simulator restarts its own timeline from the fork point, so parallel
@@ -68,6 +75,11 @@ impl ClockSource for SimClock {
 
     fn set(&self, to: TimeSpan) {
         *self.now.lock() = to;
+    }
+
+    fn advance(&self, by: TimeSpan) {
+        let mut now = self.now.lock();
+        *now += by;
     }
 
     fn fork(&self) -> Option<Arc<dyn ClockSource>> {
@@ -138,6 +150,20 @@ mod tests {
         let b = c.now();
         assert!(b >= a);
         assert!(b < TimeSpan::from_years(1.0), "set must be ignored");
+    }
+
+    #[test]
+    fn sim_clock_advances_relatively_wall_clock_ignores() {
+        let c = SimClock::new();
+        c.set(TimeSpan::from_secs(10.0));
+        c.advance(TimeSpan::from_secs(5.0));
+        assert_eq!(c.now(), TimeSpan::from_secs(15.0));
+        let w = WallClock::new();
+        w.advance(TimeSpan::from_years(100.0));
+        assert!(
+            w.now() < TimeSpan::from_years(1.0),
+            "advance must be ignored"
+        );
     }
 
     #[test]

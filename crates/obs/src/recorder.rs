@@ -197,6 +197,18 @@ impl Obs {
         }
     }
 
+    /// Advances the clock by `units` deterministic work units (one unit =
+    /// one simulated second). Instrumented hot loops call this so spans on
+    /// a [`SimClock`](crate::clock::SimClock) acquire durations that count
+    /// *work done* instead of wall time — the basis of the work-counter
+    /// profiles in `sustain-prof`, byte-identical across thread counts.
+    /// Ignored by wall clocks, a no-op on disabled handles.
+    pub fn add_work(&self, units: u64) {
+        if self.rec.enabled {
+            self.rec.clock.advance(TimeSpan::from_secs(units as f64));
+        }
+    }
+
     /// The recorder's current clock reading (zero when disabled).
     pub fn now(&self) -> TimeSpan {
         if self.rec.enabled {
@@ -454,6 +466,26 @@ mod tests {
         obs.gauge("g").set(1.0);
         obs.histogram("h").record(1.0);
         assert!(obs.registry().is_empty());
+    }
+
+    #[test]
+    fn add_work_advances_the_sim_clock_per_unit() {
+        let obs = ObsConfig::enabled().build();
+        {
+            let _s = obs.span("hot.loop");
+            obs.add_work(3);
+            obs.add_work(2);
+        }
+        match &obs.events()[0] {
+            EventRecord::Span { start, end, .. } => {
+                assert_eq!(*start, TimeSpan::ZERO);
+                assert_eq!(*end, TimeSpan::from_secs(5.0));
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        let off = Obs::disabled();
+        off.add_work(7);
+        assert_eq!(off.now(), TimeSpan::ZERO);
     }
 
     #[test]

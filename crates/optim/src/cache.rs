@@ -9,10 +9,37 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use sustain_core::stats::Zipf;
 use sustain_core::units::{Energy, Fraction};
+
+/// A multiplicative hasher for the `u64` cache keys: one `wrapping_mul`
+/// instead of SipHash's full rounds. The cache never iterates its map, so
+/// hash quality only affects bucket spread, and key-dependent behavior
+/// stays deterministic regardless.
+#[derive(Debug, Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 field hashing (unused by `u64` keys).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci hashing: multiply by 2^64/φ to spread consecutive ids.
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
 
 /// Cache replacement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -24,18 +51,39 @@ pub enum CachePolicy {
 }
 
 /// A fixed-capacity key cache (keys are item ids).
+///
+/// Eviction is O(log n) amortized via a *lazy* min-heap of eviction
+/// priorities — `(last, 0, id)` for LRU, `(count, last, id)` for LFU.
+/// Every access pushes the entry's new priority and leaves the old one in
+/// the heap as a stale record; eviction pops until the popped priority
+/// matches the entry's current state, which is then the true minimum over
+/// resident entries (every resident priority is in the heap, and anything
+/// popped earlier was stale). Because the access tick is unique per
+/// access, priorities are unique and the victim matches what a full
+/// O(capacity) scan under the same tie-break would pick — the
+/// `ordered_index_matches_full_scan` test holds the two implementations to
+/// per-access equality. Stale records are compacted away whenever the heap
+/// outgrows the resident set by [`Self::COMPACT_FACTOR`], bounding memory
+/// at a constant multiple of capacity.
 #[derive(Debug, Clone)]
 pub struct KeyCache {
     policy: CachePolicy,
     capacity: usize,
     /// id → (last_use_tick, use_count)
-    entries: HashMap<u64, (u64, u64)>,
+    entries: HashMap<u64, (u64, u64), BuildHasherDefault<KeyHasher>>,
+    /// Lazy eviction order: current and stale priority tuples; the victim
+    /// is the smallest tuple still matching its entry's state.
+    order: BinaryHeap<Reverse<(u64, u64, u64)>>,
     tick: u64,
     hits: u64,
     misses: u64,
 }
 
 impl KeyCache {
+    /// Rebuild the heap once stale records outnumber resident entries by
+    /// this factor (plus a small floor so tiny caches never thrash).
+    const COMPACT_FACTOR: usize = 8;
+
     /// Creates a cache.
     ///
     /// # Panics
@@ -46,41 +94,63 @@ impl KeyCache {
         KeyCache {
             policy,
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: HashMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
+            order: BinaryHeap::with_capacity(capacity * 2),
             tick: 0,
             hits: 0,
             misses: 0,
         }
     }
 
+    /// The eviction-priority tuple for one entry: the minimum across
+    /// resident entries is the next victim.
+    fn priority(&self, key: u64, last: u64, count: u64) -> (u64, u64, u64) {
+        match self.policy {
+            CachePolicy::Lru => (last, 0, key),
+            CachePolicy::Lfu => (count, last, key),
+        }
+    }
+
+    /// Pushes a (possibly superseding) priority record, compacting the heap
+    /// back down to exactly the resident priorities when stale records
+    /// dominate.
+    fn push_priority(&mut self, priority: (u64, u64, u64)) {
+        if self.order.len() >= self.entries.len() * Self::COMPACT_FACTOR + 64 {
+            let resident: Vec<Reverse<(u64, u64, u64)>> = self
+                .entries
+                .iter()
+                .map(|(&key, &(last, count))| Reverse(self.priority(key, last, count)))
+                .collect();
+            self.order = BinaryHeap::from(resident);
+        }
+        self.order.push(Reverse(priority));
+    }
+
     /// Accesses a key; returns `true` on hit.
     pub fn access(&mut self, key: u64) -> bool {
         self.tick += 1;
-        if let Some(entry) = self.entries.get_mut(&key) {
-            entry.0 = self.tick;
-            entry.1 += 1;
+        if let Some(&(_, count)) = self.entries.get(&key) {
+            self.entries.insert(key, (self.tick, count + 1));
+            self.push_priority(self.priority(key, self.tick, count + 1));
             self.hits += 1;
             return true;
         }
         self.misses += 1;
         if self.entries.len() >= self.capacity {
-            let victim = match self.policy {
-                CachePolicy::Lru => self
+            while let Some(Reverse(popped)) = self.order.pop() {
+                let key = popped.2;
+                let current = self
                     .entries
-                    .iter()
-                    .min_by_key(|(_, (last, _))| *last)
-                    .map(|(k, _)| *k),
-                CachePolicy::Lfu => self
-                    .entries
-                    .iter()
-                    .min_by_key(|(_, (last, count))| (*count, *last))
-                    .map(|(k, _)| *k),
-            };
-            if let Some(v) = victim {
-                self.entries.remove(&v);
+                    .get(&key)
+                    .is_some_and(|&(last, count)| self.priority(key, last, count) == popped);
+                if current {
+                    self.entries.remove(&key);
+                    break;
+                }
             }
         }
         self.entries.insert(key, (self.tick, 1));
+        self.push_priority(self.priority(key, self.tick, 1));
         false
     }
 
@@ -157,6 +227,14 @@ pub struct CacheSimResult {
 
 /// Drives a cache with a zipfian request stream and reports the energy gain.
 ///
+/// Instrumented for `sustain-prof`: the run records an
+/// `optim.cache.simulate` span on the ambient [`sustain_obs::handle`] with
+/// two inner phases — `optim.cache.sample` (drawing the zipfian request
+/// stream) and `optim.cache.access` (driving the cache) — each crediting
+/// one work unit per request to the work counter. The RNG draw sequence is
+/// identical whether or not a recorder is installed, so figure outputs do
+/// not depend on observability.
+///
 /// # Panics
 ///
 /// Panics if `requests` is zero.
@@ -172,9 +250,23 @@ pub fn simulate_cache<R: Rng + ?Sized>(
     assert!(requests > 0, "need at least one request");
     // lint:allow(panic-discipline) documented panic on invalid zipf parameters
     let zipf = Zipf::new(universe, zipf_exponent).expect("valid zipf parameters");
+    let obs = sustain_obs::handle();
+    let _sim = obs.span("optim.cache.simulate");
+    let keys: Vec<u64> = {
+        let _sample = obs.span("optim.cache.sample");
+        let keys = (0..requests)
+            .map(|_| zipf.sample_rank(rng) as u64)
+            .collect();
+        obs.add_work(requests as u64);
+        keys
+    };
     let mut cache = KeyCache::new(policy, capacity);
-    for _ in 0..requests {
-        cache.access(zipf.sample_rank(rng) as u64);
+    {
+        let _access = obs.span("optim.cache.access");
+        for key in keys {
+            cache.access(key);
+        }
+        obs.add_work(requests as u64);
     }
     let hit_rate = cache.hit_rate();
     CacheSimResult {
@@ -312,5 +404,124 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn rejects_zero_capacity() {
         let _ = KeyCache::new(CachePolicy::Lru, 0);
+    }
+
+    /// The pre-index implementation: a full O(capacity) scan per eviction.
+    /// Kept as the executable spec the ordered index is held to.
+    struct ScanCache {
+        policy: CachePolicy,
+        capacity: usize,
+        entries: std::collections::BTreeMap<u64, (u64, u64)>,
+        tick: u64,
+    }
+
+    impl ScanCache {
+        fn access(&mut self, key: u64) -> bool {
+            self.tick += 1;
+            if let Some(entry) = self.entries.get_mut(&key) {
+                entry.0 = self.tick;
+                entry.1 += 1;
+                return true;
+            }
+            if self.entries.len() >= self.capacity {
+                let victim = match self.policy {
+                    CachePolicy::Lru => self
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, (last, _))| *last)
+                        .map(|(k, _)| *k),
+                    CachePolicy::Lfu => self
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, (last, count))| (*count, *last))
+                        .map(|(k, _)| *k),
+                };
+                if let Some(v) = victim {
+                    self.entries.remove(&v);
+                }
+            }
+            self.entries.insert(key, (self.tick, 1));
+            false
+        }
+    }
+
+    #[test]
+    fn ordered_index_matches_full_scan() {
+        for policy in [CachePolicy::Lru, CachePolicy::Lfu] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut fast = KeyCache::new(policy, 16);
+            let mut spec = ScanCache {
+                policy,
+                capacity: 16,
+                entries: std::collections::BTreeMap::new(),
+                tick: 0,
+            };
+            let zipf = sustain_core::stats::Zipf::new(200, 1.1).expect("valid zipf");
+            for step in 0..5_000 {
+                let key = zipf.sample_rank(&mut rng) as u64;
+                assert_eq!(
+                    fast.access(key),
+                    spec.access(key),
+                    "{policy:?} diverged at step {step} (key {key})"
+                );
+            }
+            let resident: std::collections::BTreeMap<u64, (u64, u64)> =
+                fast.entries.iter().map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(resident, spec.entries, "{policy:?} resident sets differ");
+        }
+    }
+
+    #[test]
+    fn lazy_heap_memory_stays_bounded() {
+        let mut c = KeyCache::new(CachePolicy::Lfu, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100_000 {
+            c.access(rng.gen_index(40) as u64);
+            // Every resident priority is in the heap, and compaction keeps
+            // stale records to a constant multiple of the resident set.
+            assert!(c.order.len() >= c.entries.len(), "resident priority lost");
+            assert!(
+                c.order.len() <= c.entries.len() * (KeyCache::COMPACT_FACTOR + 1) + 65,
+                "heap grew unboundedly: {} records for {} entries",
+                c.order.len(),
+                c.entries.len()
+            );
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn instrumented_simulation_records_phases() {
+        use sustain_obs::ObsConfig;
+        let obs = ObsConfig::enabled().build();
+        let events = sustain_obs::with_task_handle(&obs, || {
+            let mut rng = StdRng::seed_from_u64(9);
+            let _ = simulate_cache(
+                &mut rng,
+                CachePolicy::Lru,
+                64,
+                1_000,
+                1.1,
+                500,
+                CacheEnergyModel::paper_default(),
+            );
+            obs.events()
+        });
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                sustain_obs::EventRecord::Span { name, .. } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "optim.cache.sample",
+                "optim.cache.access",
+                "optim.cache.simulate"
+            ],
+            "spans record in completion order"
+        );
     }
 }

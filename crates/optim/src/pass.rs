@@ -159,9 +159,16 @@ impl Pipeline {
     }
 
     /// Renders the per-step waterfall for a given input energy.
+    ///
+    /// Records an `optim.pipeline.waterfall` span on the ambient
+    /// [`sustain_obs::handle`], crediting one work unit per pass — a no-op
+    /// unless a recorder is installed.
     pub fn waterfall(&self, input: Energy) -> Vec<WaterfallStep> {
+        let obs = sustain_obs::handle();
+        let _span = obs.span("optim.pipeline.waterfall");
         let mut cumulative = 1.0;
-        self.passes
+        let steps = self
+            .passes
             .iter()
             .map(|p| {
                 cumulative *= p.gain();
@@ -172,7 +179,9 @@ impl Pipeline {
                     energy_after: input / cumulative,
                 }
             })
-            .collect()
+            .collect();
+        obs.add_work(self.passes.len() as u64);
+        steps
     }
 }
 

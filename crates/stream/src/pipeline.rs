@@ -22,6 +22,12 @@
 //! sources`, and every missing observation is attributed to a tallied
 //! fault class — [`StreamReport::is_conserved`] checks both.
 //!
+//! **Online roll-ups.** Every flush refreshes an [`EnergyRollup`] from
+//! the integrator totals in global source order, so rack- and
+//! cluster-level totals ([`StreamPipeline::rollup`]) are readable *while
+//! the stream runs* instead of only after [`StreamPipeline::finish`]
+//! rebuilds the [`TraceTree`].
+//!
 //! **Determinism.** Shard flushes fan out through
 //! [`sustain_par::ParPool::map_indexed`], whose submission-order join and
 //! per-shard state make every report byte-identical at any thread count;
@@ -35,7 +41,7 @@ use sustain_core::units::{Energy, Power, TimeSpan};
 use sustain_obs::Obs;
 use sustain_par::ParPool;
 use sustain_telemetry::faults::{FaultPlan, ImputationPolicy};
-use sustain_telemetry::hierarchy::TraceTree;
+use sustain_telemetry::hierarchy::{EnergyRollup, TraceTree};
 use sustain_telemetry::meter::FaultTolerantIntegrator;
 use sustain_telemetry::trace::PowerTrace;
 
@@ -199,6 +205,10 @@ pub struct StreamReport {
     pub sources: usize,
     /// Hierarchical roll-up of every source's observed trace.
     pub tree: TraceTree,
+    /// The online energy roll-up as it stood at finish: accounted
+    /// (measured + imputed) energy at every hierarchy prefix, maintained
+    /// flush by flush rather than recomputed from the traces.
+    pub rollup: EnergyRollup,
     /// Ticks whose reading was lost at the meter (dropout or exhausted
     /// retries).
     pub lost_reads: u64,
@@ -262,6 +272,7 @@ pub struct StreamPipeline {
     flushes: u64,
     published_late: u64,
     published_ooo: u64,
+    rollup: EnergyRollup,
 }
 
 impl StreamPipeline {
@@ -296,6 +307,7 @@ impl StreamPipeline {
             flushes: 0,
             published_late: 0,
             published_ooo: 0,
+            rollup: EnergyRollup::new(),
         }
     }
 
@@ -441,7 +453,38 @@ impl StreamPipeline {
             shard
         });
         self.flushes += 1;
+        self.update_rollup();
         self.publish_metrics();
+    }
+
+    /// Refreshes the online roll-up from the integrator totals. Runs on
+    /// the single-threaded control path **in global source order**, so the
+    /// result is a pure function of the per-source accounted energies —
+    /// byte-identical at any shard or thread count, unlike a delta-based
+    /// accumulation whose partition would follow backpressure timing.
+    fn update_rollup(&mut self) {
+        let mut rollup = EnergyRollup::new();
+        for source in &self.sources {
+            let Some(sink) = self
+                .shards
+                .get(source.shard)
+                .and_then(|s| s.sinks.get(source.local))
+            else {
+                continue;
+            };
+            let energy = sink.integrator.energy();
+            if !energy.is_zero() {
+                rollup.add(&sink.label, energy);
+            }
+        }
+        self.rollup = rollup;
+    }
+
+    /// The online energy roll-up as of the last flush: accounted energy at
+    /// every hierarchy prefix (rack, cluster, …) while the stream is still
+    /// running.
+    pub fn rollup(&self) -> &EnergyRollup {
+        &self.rollup
     }
 
     /// Drives `ticks` sampling ticks with periodic flushes (every
@@ -498,6 +541,7 @@ impl StreamPipeline {
                 shard.flush(true);
                 shard
             });
+            self.update_rollup();
             self.publish_metrics();
         }
 
@@ -526,6 +570,7 @@ impl StreamPipeline {
             ticks: self.ticks,
             sources: self.sources.len(),
             tree,
+            rollup: self.rollup.clone(),
             lost_reads: self.sources.iter().map(|s| s.lost()).sum(),
             retries: self.sources.iter().map(|s| s.retries()).sum(),
             blocked_offers: self.shards.iter().map(|s| s.queue.blocked()).sum(),
@@ -753,6 +798,67 @@ mod tests {
         assert_eq!(one.quality, four.quality);
         assert_eq!(one.energy, four.energy);
         assert_eq!(one.tree, four.tree);
+        // The online roll-up accumulates on the control path in source
+        // order, so it is byte-identical too — not merely close.
+        assert_eq!(one.rollup, four.rollup);
+    }
+
+    #[test]
+    fn rollup_is_readable_mid_stream() {
+        let mut pipe = StreamPipeline::new(small_config());
+        for i in 0..4 {
+            pipe.add_source(&format!("rack{}/host{}", i / 2, i % 2), &FaultPlan::none());
+        }
+        // Drive past several flush boundaries, then peek before finishing.
+        pipe.run(100, constant_truth);
+        let mid_total = pipe.rollup().energy("");
+        let mid_rack0 = pipe.rollup().energy("rack0");
+        assert!(
+            mid_total.as_joules() > 0.0,
+            "roll-up must accrue before finish"
+        );
+        assert!(mid_rack0 > Energy::ZERO && mid_rack0 < mid_total);
+        let report = pipe.finish();
+        assert!(report.rollup.energy("") >= mid_total);
+    }
+
+    #[test]
+    fn rollup_agrees_with_tree_and_report_energy() {
+        let mut pipe = StreamPipeline::new(small_config());
+        for i in 0..6 {
+            pipe.add_source(&format!("rack{}/host{}", i / 3, i % 3), &FaultPlan::none());
+        }
+        pipe.run(300, constant_truth);
+        let report = pipe.finish();
+        // Pristine stream: accounted energy is exactly the observed-trace
+        // energy, so the incremental roll-up matches the recompute-from-
+        // traces path at every prefix (up to summation rounding).
+        for prefix in ["", "rack0", "rack1", "rack0/host1"] {
+            let online = report.rollup.energy(prefix).as_joules();
+            let recomputed = report.tree.subtree_energy(prefix).as_joules();
+            assert!(
+                (online - recomputed).abs() < 1e-6,
+                "{prefix}: {online} vs {recomputed}"
+            );
+        }
+        assert!((report.rollup.energy("").as_joules() - report.energy.as_joules()).abs() < 1e-6);
+        // The rack view is available without touching the traces.
+        assert_eq!(report.rollup.children("").len(), 2);
+        assert_eq!(report.rollup.children("rack0").len(), 3);
+    }
+
+    #[test]
+    fn rollup_totals_match_report_energy_under_faults() {
+        let plan = FaultPlan::degraded().with_seed(41).with_dropout(0.05);
+        let mut pipe = StreamPipeline::new(small_config());
+        for i in 0..6 {
+            pipe.add_source(&format!("rack{}/host{}", i / 3, i % 3), &plan);
+        }
+        pipe.run(400, constant_truth);
+        let report = pipe.finish();
+        // Accounted energy includes imputation, and the roll-up tracks the
+        // integrators, so the totals still agree.
+        assert!((report.rollup.energy("").as_joules() - report.energy.as_joules()).abs() < 1e-6);
     }
 
     #[test]

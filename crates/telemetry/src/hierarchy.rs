@@ -111,6 +111,99 @@ impl TraceTree {
     }
 }
 
+/// Online energy roll-up: cumulative energy at every aggregation prefix.
+///
+/// Where [`TraceTree::subtree_energy`] recomputes a roll-up from the full
+/// leaf traces on demand, an `EnergyRollup` is maintained *incrementally*:
+/// each [`add`](EnergyRollup::add) credits a leaf's energy delta to the
+/// leaf and every ancestor prefix (plus the root `""`), so rack- and
+/// cluster-level totals are readable at any point mid-stream without
+/// touching the traces. The streaming pipeline updates one of these on
+/// every flush.
+///
+/// ```rust
+/// use sustain_telemetry::hierarchy::EnergyRollup;
+/// use sustain_core::units::Energy;
+///
+/// let mut rollup = EnergyRollup::new();
+/// rollup.add("rack0/host0/gpu0", Energy::from_watt_hours(300.0));
+/// rollup.add("rack0/host1/gpu0", Energy::from_watt_hours(250.0));
+/// assert!((rollup.energy("rack0").as_watt_hours() - 550.0).abs() < 1e-9);
+/// assert!((rollup.energy("").as_watt_hours() - 550.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyRollup {
+    nodes: BTreeMap<NodePath, Energy>,
+}
+
+impl EnergyRollup {
+    /// Creates an empty roll-up.
+    pub fn new() -> EnergyRollup {
+        EnergyRollup::default()
+    }
+
+    /// Credits `delta` to `path` and every ancestor prefix, including the
+    /// root `""`. Leading/trailing `/` are ignored.
+    pub fn add(&mut self, path: &str, delta: Energy) {
+        let path = path.trim_matches('/');
+        *self.nodes.entry(String::new()).or_insert(Energy::ZERO) += delta;
+        if path.is_empty() {
+            return;
+        }
+        for (i, byte) in path.bytes().enumerate() {
+            if byte == b'/' {
+                *self
+                    .nodes
+                    .entry(path[..i].to_owned())
+                    .or_insert(Energy::ZERO) += delta;
+            }
+        }
+        *self.nodes.entry(path.to_owned()).or_insert(Energy::ZERO) += delta;
+    }
+
+    /// Cumulative energy at a node (`""` = the whole hierarchy). Unknown
+    /// paths are zero.
+    pub fn energy(&self, prefix: &str) -> Energy {
+        self.nodes
+            .get(prefix.trim_matches('/'))
+            .copied()
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// Energy per direct child of a prefix — the online rack view.
+    pub fn children(&self, prefix: &str) -> BTreeMap<String, Energy> {
+        let prefix = prefix.trim_matches('/');
+        let mut out = BTreeMap::new();
+        for (path, energy) in &self.nodes {
+            if path.is_empty() {
+                continue;
+            }
+            let rest = if prefix.is_empty() {
+                path.as_str()
+            } else {
+                match path.strip_prefix(prefix).and_then(|r| r.strip_prefix('/')) {
+                    Some(rest) => rest,
+                    None => continue,
+                }
+            };
+            if !rest.is_empty() && !rest.contains('/') {
+                out.insert(rest.to_owned(), *energy);
+            }
+        }
+        out
+    }
+
+    /// Number of tracked nodes (every prefix counts, including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no energy has been credited yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
 impl FromIterator<(NodePath, PowerTrace)> for TraceTree {
     fn from_iter<I: IntoIterator<Item = (NodePath, PowerTrace)>>(iter: I) -> TraceTree {
         TraceTree {
@@ -196,6 +289,84 @@ mod tests {
             t.leaf("c0/r0/h0").is_none(),
             "interior nodes are not leaves"
         );
+    }
+
+    #[test]
+    fn rollup_credits_every_ancestor() {
+        let mut rollup = EnergyRollup::new();
+        rollup.add("c0/r0/h0/gpu0", Energy::from_watt_hours(300.0));
+        rollup.add("c0/r0/h1/gpu0", Energy::from_watt_hours(250.0));
+        rollup.add("c0/r1/h0/gpu0", Energy::from_watt_hours(400.0));
+        rollup.add("c1/r0/h0/gpu0", Energy::from_watt_hours(100.0));
+        for (prefix, wh) in [
+            ("", 1050.0),
+            ("c0", 950.0),
+            ("c0/r0", 550.0),
+            ("c0/r0/h0", 300.0),
+            ("c0/r0/h0/gpu0", 300.0),
+            ("c1", 100.0),
+        ] {
+            assert!(
+                (rollup.energy(prefix).as_watt_hours() - wh).abs() < 1e-9,
+                "{prefix}: {} vs {wh}",
+                rollup.energy(prefix).as_watt_hours()
+            );
+        }
+        assert!(rollup.energy("does-not-exist").is_zero());
+    }
+
+    #[test]
+    fn rollup_accumulates_incremental_deltas() {
+        let mut rollup = EnergyRollup::new();
+        rollup.add("r0/h0", Energy::from_joules(10.0));
+        rollup.add("r0/h0", Energy::from_joules(5.0));
+        rollup.add("r0/h1", Energy::from_joules(1.0));
+        assert!((rollup.energy("r0/h0").as_joules() - 15.0).abs() < 1e-12);
+        assert!((rollup.energy("r0").as_joules() - 16.0).abs() < 1e-12);
+        assert!((rollup.energy("").as_joules() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rollup_matches_tree_subtree_energy() {
+        // An incrementally maintained roll-up of the same leaves agrees
+        // with the recompute-from-traces path at every prefix.
+        let t = tree();
+        let mut rollup = EnergyRollup::new();
+        for (path, trace) in t.subtree("") {
+            rollup.add(path, trace.energy());
+        }
+        for prefix in ["", "c0", "c0/r0", "c0/r0/h0", "c0/r1", "c1"] {
+            let online = rollup.energy(prefix).as_watt_hours();
+            let recomputed = t.subtree_energy(prefix).as_watt_hours();
+            assert!(
+                (online - recomputed).abs() < 1e-9,
+                "{prefix}: {online} vs {recomputed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rollup_children_give_the_rack_view() {
+        let t = tree();
+        let mut rollup = EnergyRollup::new();
+        for (path, trace) in t.subtree("") {
+            rollup.add(path, trace.energy());
+        }
+        let by_rack = rollup.children("c0");
+        assert_eq!(by_rack.len(), 2);
+        assert!((by_rack["r0"].as_watt_hours() - 850.0).abs() < 1e-9);
+        assert!((by_rack["r1"].as_watt_hours() - 400.0).abs() < 1e-9);
+        assert_eq!(rollup.children("").len(), 2);
+        assert!(rollup.children("c1/r0/h0/gpu0").is_empty());
+    }
+
+    #[test]
+    fn rollup_normalizes_slashes() {
+        let mut rollup = EnergyRollup::new();
+        rollup.add("/r0/h0/", Energy::from_joules(2.0));
+        assert!((rollup.energy("r0").as_joules() - 2.0).abs() < 1e-12);
+        assert!((rollup.energy("/r0/").as_joules() - 2.0).abs() < 1e-12);
+        assert!(!rollup.is_empty());
     }
 
     #[test]

@@ -48,6 +48,7 @@ use std::path::{Path, PathBuf};
 
 pub mod items;
 pub mod lexer;
+pub mod perf;
 pub mod sanitize;
 
 mod rules;

@@ -20,6 +20,7 @@ pub(crate) const SIM_CRATES: &[&str] = &[
     "par",
     "cache",
     "stream",
+    "prof",
 ];
 
 /// Crates allowed to touch raw thread primitives (rule 5 carve-out):

@@ -858,6 +858,64 @@ fn stream_crate_bans_nondeterminism_sources() {
     assert!(hits.contains(&Rule::Determinism), "got {hits:?}");
 }
 
+// ------------------------------------------------------------- prof crate
+
+/// The profiler aggregates over span trees; its passes must stay
+/// layout-independent so a profile of a deterministic run is itself
+/// deterministic. SIM_CRATES membership turns the taint rules on.
+const PROF_LIB: &str = "crates/prof/src/profile.rs";
+
+#[test]
+fn prof_taint_fixture_trips_determinism_taint() {
+    let src = include_str!("fixtures/prof_taint.rs");
+    let diags = lint_source(PROF_LIB, src);
+    let msgs: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::DeterminismTaint)
+        .map(|d| d.message.as_str())
+        .collect();
+    // Both the hash-ordered hotspot ranking and the float fold fire.
+    assert_eq!(msgs.len(), 2, "got {diags:?}");
+}
+
+#[test]
+fn prof_fixture_clean_when_btree_ordered() {
+    // The corrected form of the same pass: BTreeMap keys aggregate in name
+    // order, so ranking and folding are layout-independent.
+    let src = "use std::collections::BTreeMap;\n\
+               pub fn hotspots(self_time: &BTreeMap<String, f64>) -> Vec<(String, f64)> {\n\
+               \x20   let mut rows: Vec<(String, f64)> = self_time\n\
+               \x20       .iter()\n\
+               \x20       .map(|(name, micros)| (name.clone(), *micros))\n\
+               \x20       .collect();\n\
+               \x20   rows.truncate(10);\n\
+               \x20   rows\n\
+               }\n\
+               pub fn total_self(self_time: &BTreeMap<String, f64>) -> f64 {\n\
+               \x20   self_time.values().sum::<f64>()\n\
+               }\n";
+    assert_clean(PROF_LIB, src);
+}
+
+#[test]
+fn prof_taint_not_enforced_outside_sim_crates() {
+    let src = include_str!("fixtures/prof_taint.rs");
+    let diags = lint_source(CORE_LIB, src);
+    assert!(
+        !diags.iter().any(|d| d.rule == Rule::DeterminismTaint),
+        "got {diags:?}"
+    );
+}
+
+#[test]
+fn prof_crate_bans_nondeterminism_sources() {
+    // Wall-clock reads inside the profiler would silently mix measurement
+    // noise into the deterministic work-counter profiles.
+    let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+    let hits = rules_hit("crates/prof/src/tree.rs", src);
+    assert!(hits.contains(&Rule::Determinism), "got {hits:?}");
+}
+
 #[test]
 fn fix_allow_reports_clean_lint() {
     assert!(xtask::render_fix_allow(&[]).contains("clean"));

@@ -1,0 +1,21 @@
+//! Planted violation: a profile aggregation pass keyed on a `HashMap`.
+//! Iterating it to rank hotspots makes the rendered report depend on hash
+//! layout — ties between equal self-times land in hash order, and the
+//! float fold accumulates in a different order each run, so the "same"
+//! profile diffs against itself. Linted under a `crates/prof` path by the
+//! fixture tests; never compiled.
+
+use std::collections::HashMap;
+
+pub fn hotspots(self_time: &HashMap<String, f64>) -> Vec<(String, f64)> {
+    let mut rows: Vec<(String, f64)> = self_time
+        .iter()
+        .map(|(name, micros)| (name.clone(), *micros))
+        .collect();
+    rows.truncate(10);
+    rows
+}
+
+pub fn total_self(self_time: &HashMap<String, f64>) -> f64 {
+    self_time.values().sum::<f64>()
+}

@@ -20,6 +20,9 @@
 //!   trace/metrics exporters across the simulators.
 //! * [`par`] — deterministic parallel execution: ordered fan-out on scoped
 //!   threads with per-task seed derivation and obs span adoption.
+//! * [`prof`] — profiling analysis over obs recordings: span-tree
+//!   reconstruction, self-time attribution, hotspot reports, critical
+//!   paths, and collapsed-stack flamegraph export.
 //! * [`cache`] — content-addressed incremental recomputation: FNV-1a
 //!   fingerprints over canonical input encodings, with an in-memory and a
 //!   corruption-tolerant on-disk store.
@@ -51,6 +54,7 @@ pub use sustain_fleet as fleet;
 pub use sustain_obs as obs;
 pub use sustain_optim as optim;
 pub use sustain_par as par;
+pub use sustain_prof as prof;
 pub use sustain_stream as stream;
 pub use sustain_telemetry as telemetry;
 pub use sustain_workload as workload;

@@ -1,0 +1,68 @@
+//! Profiling determinism suite: the work-counter profile of the full
+//! figure catalogue is byte-identical at any thread count, and the
+//! wall-clock profile attributes the fig07 hot path to a named inner span
+//! instead of leaving it as unexplained self time.
+
+use sustainai::obs::{Obs, ObsConfig};
+use sustainai::par::ParPool;
+use sustainai::prof;
+
+/// Regenerates every figure on a pool of `threads` workers under a fresh
+/// sim-clocked recording scoped to this thread, exactly as
+/// `all_figures --obs <dir> --obs-clock sim --threads <n>` does.
+fn instrumented_figures(obs: &Obs, threads: usize) {
+    let pool = ParPool::new(threads);
+    let tables =
+        sustainai::obs::with_task_handle(obs, || sustain_bench::figs::all_with_pool(&pool));
+    assert!(!tables.is_empty(), "figure catalogue must regenerate");
+}
+
+fn sim_profile(threads: usize) -> (String, String) {
+    let obs = ObsConfig::enabled().build();
+    instrumented_figures(&obs, threads);
+    let tree = prof::SpanTree::from_records(&obs.events());
+    let profile = prof::Profile::from_tree(&tree);
+    (prof::report::render(&profile, 64), prof::to_folded(&tree))
+}
+
+#[test]
+fn work_counter_profile_is_byte_identical_across_thread_counts() {
+    let (report_one, folded_one) = sim_profile(1);
+    let (report_four, folded_four) = sim_profile(4);
+    assert!(
+        report_one.contains("optim.cache.simulate"),
+        "instrumented fig07 hot path must appear: {report_one}"
+    );
+    assert_eq!(
+        report_one, report_four,
+        "profile.txt must not depend on threads"
+    );
+    assert_eq!(
+        folded_one, folded_four,
+        "flame.folded must not depend on threads"
+    );
+    assert!(!folded_one.is_empty(), "work counters must produce stacks");
+}
+
+#[test]
+fn wall_clock_profile_attributes_the_fig07_hot_path() {
+    let obs = ObsConfig::enabled().with_wall_clock().build();
+    instrumented_figures(&obs, 2);
+    let profile = prof::profile_records(&obs.events());
+    // The acceptance bar from the profiling work: at least 90% of the
+    // fig07_waterfall figure's inclusive time must land in a *named* inner
+    // span, so a hotspot report points at code, not at a figure label.
+    let covered = profile.attribution("figure.fig07_waterfall", "optim.cache.simulate");
+    assert!(
+        covered >= 0.9,
+        "optim.cache.simulate covers only {:.1}% of figure.fig07_waterfall",
+        covered * 100.0
+    );
+    let fig = profile
+        .stats("figure.fig07_waterfall")
+        .expect("fig07 span recorded");
+    assert!(
+        fig.total.as_secs() > 0.0,
+        "wall clock must measure real time"
+    );
+}
