@@ -23,12 +23,14 @@ use std::process::ExitCode;
 
 use sustain_bench::figs;
 use sustain_cache::Cache;
+use sustain_core::units::{Power, TimeSpan};
 use sustain_obs::{ClockSource, WallClock};
 use sustain_par::ParPool;
 use sustain_stream::pipeline::{StreamConfig, StreamPipeline};
 use sustain_stream::queue::Sample;
 use sustain_stream::validate;
-use sustain_telemetry::faults::FaultPlan;
+use sustain_telemetry::faults::{FaultPlan, ImputationPolicy};
+use sustain_telemetry::meter::FaultTolerantIntegrator;
 
 /// Version of the `BENCH_par.json` layout. Bumped whenever row names or
 /// structure change so `cargo xtask perf --check` can refuse to compare a
@@ -131,6 +133,23 @@ fn main() -> ExitCode {
         rate(median(&stream_parallel)),
     );
 
+    // Batched integration kernel throughput: one million synthetic ticks
+    // through `FaultTolerantIntegrator::push_batch` in one call — the
+    // columnar hot loop alone, no queue or reorder traffic in front of it.
+    // The faulty variant drops 1% of ticks to tombstones, forcing a
+    // run-split plus gap imputation at every boundary.
+    let energy_clean_batch = energy_batch(false);
+    let energy_faulty_batch = energy_batch(true);
+    let energy_clean = sample(args.reps, || run_energy_integrate(&energy_clean_batch));
+    let energy_faulty = sample(args.reps, || run_energy_integrate(&energy_faulty_batch));
+    let energy_rate = |ms: f64| ENERGY_SAMPLES as f64 / (ms / 1e3).max(f64::MIN_POSITIVE);
+    println!(
+        "energy-integrate ({ENERGY_SAMPLES} samples): \
+         clean {:.0} samples/s, 1% faults {:.0} samples/s",
+        energy_rate(median(&energy_clean)),
+        energy_rate(median(&energy_faulty)),
+    );
+
     let mut figures_json = Vec::new();
     if !args.quick {
         for (name, generate) in figs::FIGURES {
@@ -183,6 +202,9 @@ fn main() -> ExitCode {
          \"sources\": {},\n    \"ticks\": {},\n    \"serial\": {},\n    \"parallel\": {},\n    \
          \"samples_per_sec_serial\": {:.0},\n    \"samples_per_sec_parallel\": {:.0},\n    \
          \"peak_buffered_samples\": {},\n    \"peak_buffered_bytes\": {}\n  }},\n  \
+         \"energy_integrate\": {{\n    \
+         \"samples\": {},\n    \"clean\": {},\n    \"faulty\": {},\n    \
+         \"samples_per_sec_clean\": {:.0},\n    \"samples_per_sec_faulty\": {:.0}\n  }},\n  \
          \"figures\": {}\n}}\n",
         std::env::consts::OS,
         args.reps,
@@ -205,6 +227,11 @@ fn main() -> ExitCode {
         rate(median(&stream_parallel)),
         peak_buffered,
         buffered_bytes,
+        ENERGY_SAMPLES,
+        stat_json(&energy_clean),
+        stat_json(&energy_faulty),
+        energy_rate(median(&energy_clean)),
+        energy_rate(median(&energy_faulty)),
         figures_block
     );
     if let Err(err) = std::fs::write(&args.out, json) {
@@ -228,6 +255,34 @@ fn run_fanout(threads: usize) {
 /// for a CI smoke run.
 const STREAM_SOURCES: usize = 64;
 const STREAM_TICKS: u64 = 2000;
+
+/// Ticks in the energy-integrate microbench: large enough (one million)
+/// that the batched kernel's per-sample cost dominates the integrator's
+/// fixed setup.
+const ENERGY_SAMPLES: usize = 1_000_000;
+
+/// One tick every second with a deterministic sawtooth power profile;
+/// with `fault` set, every hundredth tick is a lost-tick tombstone, so
+/// the kernel pays a run-split plus linear gap imputation at 1% of the
+/// batch.
+fn energy_batch(fault: bool) -> Vec<(TimeSpan, Option<Power>)> {
+    (0..ENERGY_SAMPLES)
+        .map(|i| {
+            let at = TimeSpan::from_secs(i as f64);
+            let power = (!(fault && i % 100 == 99))
+                .then(|| Power::from_watts(250.0 + 50.0 * ((i % 17) as f64)));
+            (at, power)
+        })
+        .collect()
+}
+
+/// One million-tick batch through the columnar integration kernel.
+fn run_energy_integrate(batch: &[(TimeSpan, Option<Power>)]) {
+    let mut meter =
+        FaultTolerantIntegrator::new(TimeSpan::from_secs(1.0), ImputationPolicy::Linear);
+    std::hint::black_box(meter.push_batch(batch));
+    std::hint::black_box(meter.report());
+}
 
 fn stream_bench_config() -> StreamConfig {
     StreamConfig {

@@ -134,15 +134,25 @@ impl FlApp {
         let jitter = LogNormal::from_median_p99(1.0, 3.0).expect("valid jitter");
         let comm = CommModel::paper_default();
         let mut log = ClientLog::ninety_day();
+        // Per-run invariants hoisted out of the session loop: every paper
+        // reference device shares the same residential link rates, so the
+        // download/upload transfer times are session-independent, and the
+        // tier-adjusted base compute time takes only |ALL| values. The
+        // hoisted expressions are the exact per-session ones, so every
+        // logged time is bitwise what the in-loop computation produced —
+        // and no RNG draw moves.
+        let reference = ClientDevice::paper_reference(DeviceTier::Mid);
+        let download = comm.transfer_time(self.update_size, reference.download_rate());
+        let upload = comm.transfer_time(self.update_size, reference.upload_rate());
+        let base_compute = DeviceTier::ALL
+            .map(|tier| ClientDevice::paper_reference(tier).compute_time(self.mid_tier_compute));
         let _run = obs.span("fl.simulate");
         let mut dropouts = 0u64;
         for _ in 0..self.rounds {
             let _round = obs.span("fl.round");
             for _ in 0..self.clients_per_round {
                 let tier = sample_tier(rng);
-                let device = ClientDevice::paper_reference(tier);
-                let compute = device.compute_time(self.mid_tier_compute) * jitter.sample(rng);
-                let download = comm.transfer_time(self.update_size, device.download_rate());
+                let compute = base_compute[tier as usize] * jitter.sample(rng);
                 let dropped = rng.gen::<f64>() < self.dropout.value();
                 let entry = if dropped {
                     dropouts += 1;
@@ -155,7 +165,7 @@ impl FlApp {
                     ClientLogEntry {
                         compute,
                         download,
-                        upload: comm.transfer_time(self.update_size, device.upload_rate()),
+                        upload,
                     }
                 };
                 log.push(entry);

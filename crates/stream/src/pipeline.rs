@@ -140,6 +140,12 @@ struct SourceSink {
     integrator: FaultTolerantIntegrator,
     trace: PowerTrace,
     faults: sustain_core::quality::FaultCounts,
+    /// Reusable per-flush batch of released ticks for this sink — cleared,
+    /// never dropped, so the steady state allocates nothing. Dense
+    /// `(time, power)` pairs: a released sample is always observed (lost
+    /// ticks become tombstones at ingest, not here), so the batch carries
+    /// no `Option` tag and stays 16 bytes per entry.
+    batch: Vec<(TimeSpan, Power)>,
 }
 
 /// One ingest shard: queue → reorder buffer → this shard's sinks.
@@ -148,46 +154,86 @@ struct Shard {
     queue: IngestQueue,
     reorder: ReorderBuffer,
     sinks: Vec<SourceSink>,
-    /// Arrival counter breaking reorder-key timestamp ties.
-    seq: u64,
     /// Samples still out-of-order at the sink after reordering.
     emitted_out_of_order: u64,
 }
 
 impl Shard {
-    /// Drains the queue into the reorder buffer, then releases and
-    /// integrates every ready sample. With `force` set, the watermark is
-    /// ignored and the buffer empties entirely (end-of-stream).
+    /// Drains the queue into the reorder buffer, then releases every ready
+    /// sample and integrates it through the batched kernel. With `force`
+    /// set, the watermark is ignored and the buffer empties entirely
+    /// (end-of-stream).
+    ///
+    /// The batched path is byte-identical to pushing each released sample
+    /// through `FaultTolerantIntegrator::push` + `PowerTrace::push` in
+    /// release order: per-sink subsequences preserve release order, the
+    /// kernel accumulates in the same float-expression order, and the trace
+    /// only ever receives runs the integrator has already validated — so
+    /// its rejection tally stays zero, exactly as on the per-sample path.
     fn flush(&mut self, force: bool) {
-        while let Some(sample) = self.queue.pop() {
-            let seq = self.seq;
-            self.seq += 1;
-            match self.reorder.admit(sample, seq) {
+        // The whole shard flush is one fused batched stage — queue drain
+        // feeding the reorder admit, time-ordered release regrouped into
+        // per-sink columnar batches, and the integration kernel over each —
+        // so one named span covers it end to end and profiles can attribute
+        // the stage inside `stream.flush`. The ambient handle is this
+        // task's obs fork when flushing under `ParPool::map_indexed`,
+        // which re-parents the span into the caller's trace
+        // deterministically.
+        let obs = sustain_obs::handle();
+        let _span = obs.span("telemetry.integrate.batch");
+        {
+            let reorder = &mut self.reorder;
+            let sinks = &mut self.sinks;
+            self.queue.drain_with(|sample| match reorder.admit(sample) {
                 Admission::Admitted => {}
                 Admission::Late => {
-                    if let Some(sink) = self.sinks.get_mut(sample.local) {
+                    if let Some(sink) = sinks.get_mut(sample.local) {
                         sink.integrator.push(sample.at, None);
                         sink.faults.record(FaultKind::LateArrival);
                     }
                 }
-            }
+            });
         }
-        let ready = if force {
-            self.reorder.drain_all()
-        } else {
-            self.reorder.drain_ready()
+        // Regroup the time-ordered release directly into per-sink batches
+        // as the reorder buffer drains — no staging buffer in between;
+        // within a sink the release order is preserved.
+        for sink in &mut self.sinks {
+            sink.batch.clear();
+        }
+        let mut released = 0usize;
+        let sinks = &mut self.sinks;
+        let consume = |sample: Sample| {
+            released += 1;
+            if let Some(sink) = sinks.get_mut(sample.local) {
+                sink.batch.push((sample.at, sample.power));
+            }
         };
-        for sample in ready {
-            let Some(sink) = self.sinks.get_mut(sample.local) else {
-                continue;
-            };
-            if sink.integrator.push(sample.at, Some(sample.power)) {
-                sink.trace.push(sample.at, sample.power);
-            } else {
-                // The integrator tallied the rejection as OutOfOrder.
-                self.emitted_out_of_order += 1;
-            }
+        if force {
+            self.reorder.drain_all_with(consume);
+        } else {
+            self.reorder.drain_ready_with(consume);
         }
+        if released == 0 {
+            return;
+        }
+        let mut out_of_order = 0;
+        for sink in &mut self.sinks {
+            let batch = sink.batch.as_slice();
+            if batch.is_empty() {
+                continue;
+            }
+            // The integrator's kernel splits the batch itself: clean runs
+            // integrate branch-free, and anything out-of-order is rejected
+            // and tallied exactly as per-sample pushes would. The batch is
+            // all observed samples, so `len - accepted` is that rejection
+            // count. The trace mirrors the batch with the same monotone
+            // accept rule — its `last` stays in lockstep with the
+            // integrator's — skipping the already-tallied rejects.
+            let accepted = sink.integrator.push_batch_observed(batch);
+            sink.trace.push_batch_observed(batch);
+            out_of_order += (batch.len() - accepted) as u64;
+        }
+        self.emitted_out_of_order += out_of_order;
     }
 }
 
@@ -294,7 +340,6 @@ impl StreamPipeline {
                 queue: IngestQueue::new(config.queue_capacity, config.backpressure),
                 reorder: ReorderBuffer::new(config.reorder_capacity, config.lateness),
                 sinks: Vec::new(),
-                seq: 0,
                 emitted_out_of_order: 0,
             })
             .collect();
@@ -338,6 +383,7 @@ impl StreamPipeline {
             integrator: FaultTolerantIntegrator::new(self.config.interval, self.config.imputation),
             trace: PowerTrace::new(),
             faults: sustain_core::quality::FaultCounts::default(),
+            batch: Vec::new(),
         });
         self.sources
             .push(MeterSource::new(label, plan, shard, local));
@@ -408,11 +454,6 @@ impl StreamPipeline {
             }
         }
         self.ticks += 1;
-        if self.obs.enabled() {
-            self.obs
-                .gauge("stream_buffered_samples")
-                .set(self.buffered() as f64);
-        }
     }
 
     /// Routes one sample into its shard's queue, honouring backpressure.
@@ -463,7 +504,10 @@ impl StreamPipeline {
     /// byte-identical at any shard or thread count, unlike a delta-based
     /// accumulation whose partition would follow backpressure timing.
     fn update_rollup(&mut self) {
-        let mut rollup = EnergyRollup::new();
+        // Zero-and-re-add instead of rebuilding: totals are monotone, so
+        // the key set only grows and the map's path strings are reused
+        // across flushes (no steady-state allocation).
+        self.rollup.zero();
         for source in &self.sources {
             let Some(sink) = self
                 .shards
@@ -474,10 +518,9 @@ impl StreamPipeline {
             };
             let energy = sink.integrator.energy();
             if !energy.is_zero() {
-                rollup.add(&sink.label, energy);
+                self.rollup.add(&sink.label, energy);
             }
         }
-        self.rollup = rollup;
     }
 
     /// The online energy roll-up as of the last flush: accounted energy at
@@ -504,10 +547,15 @@ impl StreamPipeline {
 
     /// Publishes accumulated shard tallies as obs counters, in shard order
     /// (deterministic: called only from the single-threaded control path).
+    /// Runs once per flush — per-sample and per-tick obs work is amortized
+    /// here so the hot path pays nothing for observability.
     fn publish_metrics(&mut self) {
         if !self.obs.enabled() {
             return;
         }
+        self.obs
+            .gauge("stream_buffered_samples")
+            .set(self.buffered() as f64);
         let late: u64 = self.shards.iter().map(|s| s.reorder.late()).sum();
         let ooo: u64 = self.shards.iter().map(|s| s.emitted_out_of_order).sum();
         let drops: u64 = self.shards.iter().map(|s| s.queue.evicted()).sum();
@@ -561,7 +609,9 @@ impl StreamPipeline {
             sink.integrator.merge_faults(&streaming_faults);
             quality.merge(&sink.integrator.report());
             energy += sink.integrator.energy();
-            tree.insert(sink.label.clone(), sink.trace.clone());
+            // The pipeline is consumed: move the trace out instead of
+            // cloning every sample column.
+            tree.insert(sink.label.clone(), std::mem::take(&mut sink.trace));
         }
 
         let report = StreamReport {

@@ -96,6 +96,7 @@ impl IngestQueue {
     }
 
     /// Offers a sample under this queue's backpressure policy.
+    #[inline]
     pub fn offer(&mut self, sample: Sample) -> Offer {
         if self.buf.len() < self.capacity {
             self.buf.push_back(sample);
@@ -120,8 +121,18 @@ impl IngestQueue {
     }
 
     /// Removes and returns the oldest queued sample.
+    #[inline]
     pub fn pop(&mut self) -> Option<Sample> {
         self.buf.pop_front()
+    }
+
+    /// Empties the queue in FIFO order, handing every sample to `consume`
+    /// — the bulk counterpart of [`IngestQueue::pop`] for a flush that
+    /// drains the whole queue, without per-pop branching.
+    pub fn drain_with(&mut self, mut consume: impl FnMut(Sample)) {
+        for sample in self.buf.drain(..) {
+            consume(sample);
+        }
     }
 
     /// Number of queued samples.

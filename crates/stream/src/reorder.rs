@@ -12,8 +12,17 @@
 //! tallies them, never silently dropping them. The buffer is bounded: at
 //! capacity it force-releases its oldest samples (in time order, so a
 //! forced release never reorders what it emits) and counts how often.
-
-use std::collections::BTreeMap;
+//!
+//! Internally the buffer is a flat `Vec` of `(key, sample)` entries kept
+//! sorted at all times: an in-order admission (the common case) is a plain
+//! append, and an out-of-order one binary-searches its slot and shifts the
+//! tail down — for the slightly-skewed streams the pipeline produces the
+//! displaced tail is a handful of same-tick entries, so the shift is a
+//! short contiguous `memmove` instead of a full sort per drain. Draining
+//! then releases a ready *prefix* found by binary search, which batch
+//! consumers ([`ReorderBuffer::drain_ready_into`]) take without
+//! allocating. This is far cheaper than both the node-per-sample
+//! `BTreeMap` it replaces and a lazily-sorted `Vec`.
 
 use sustain_core::units::TimeSpan;
 
@@ -30,9 +39,12 @@ pub enum Admission {
     Late,
 }
 
-/// Total order for buffered samples: timestamp first (IEEE-754 bit order,
-/// monotone for the non-negative times a simulation produces), arrival
-/// sequence second so equal timestamps keep arrival order.
+/// Sort key for buffered samples: the timestamp's IEEE-754 bit pattern,
+/// monotone for the non-negative times a simulation produces. Equal
+/// timestamps keep arrival order positionally — a new arrival inserts
+/// *after* every entry with an equal key — so no sequence tie-breaker is
+/// stored.
+#[inline]
 fn time_key(at: TimeSpan) -> u64 {
     at.as_secs().max(0.0).to_bits()
 }
@@ -50,23 +62,29 @@ fn time_key(at: TimeSpan) -> u64 {
 ///     at: TimeSpan::from_secs(at),
 ///     power: Power::from_watts(100.0),
 /// };
-/// assert_eq!(buf.admit(s(10.0), 0), Admission::Admitted);
+/// assert_eq!(buf.admit(s(10.0)), Admission::Admitted);
 /// // 9.0 is late but inside the 2 s bound: re-sequenced, not lost.
-/// assert_eq!(buf.admit(s(9.0), 1), Admission::Admitted);
+/// assert_eq!(buf.admit(s(9.0)), Admission::Admitted);
 /// // 7.5 is behind the watermark (10 − 2 = 8): too late to admit.
-/// assert_eq!(buf.admit(s(7.5), 2), Admission::Late);
+/// assert_eq!(buf.admit(s(7.5)), Admission::Late);
 /// // 12.0 advances the watermark to 10: the stragglers release in time
 /// // order regardless of arrival order.
-/// assert_eq!(buf.admit(s(12.0), 3), Admission::Admitted);
+/// assert_eq!(buf.admit(s(12.0)), Admission::Admitted);
 /// let ready: Vec<f64> = buf.drain_ready().iter().map(|s| s.at.as_secs()).collect();
 /// assert_eq!(ready, vec![9.0, 10.0]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReorderBuffer {
-    buf: BTreeMap<(u64, u64), Sample>,
+    /// `time_key → sample` entries, always key-sorted (equal keys in
+    /// arrival order): in-order admissions append, out-of-order ones
+    /// binary-insert after their equal-key run.
+    buf: Vec<(u64, Sample)>,
     capacity: usize,
     lateness: Option<TimeSpan>,
     max_seen: Option<TimeSpan>,
+    /// Cached `max_seen - lateness`, refreshed only when `max_seen`
+    /// advances so the per-admit lateness check is one comparison.
+    mark: Option<TimeSpan>,
     forced: u64,
     late: u64,
 }
@@ -83,10 +101,11 @@ impl ReorderBuffer {
     pub fn new(capacity: usize, lateness: Option<TimeSpan>) -> ReorderBuffer {
         assert!(capacity > 0, "reorder buffer capacity must be positive");
         ReorderBuffer {
-            buf: BTreeMap::new(),
+            buf: Vec::new(),
             capacity,
             lateness,
             max_seen: None,
+            mark: None,
             forced: 0,
             late: 0,
         }
@@ -95,26 +114,49 @@ impl ReorderBuffer {
     /// The watermark: the newest seen timestamp minus the lateness bound.
     /// `None` until a sample has been seen, or when the bound is infinite.
     pub fn watermark(&self) -> Option<TimeSpan> {
-        match (self.max_seen, self.lateness) {
-            (Some(max), Some(bound)) => Some(max - bound),
-            _ => None,
-        }
+        self.mark
     }
 
-    /// Offers a sample. `seq` is the arrival sequence number used to break
-    /// timestamp ties deterministically (pass a per-shard counter).
-    pub fn admit(&mut self, sample: Sample, seq: u64) -> Admission {
-        if let Some(mark) = self.watermark() {
+    /// Offers a sample. Equal timestamps keep arrival order: a tie
+    /// releases in the order it was admitted.
+    #[inline]
+    pub fn admit(&mut self, sample: Sample) -> Admission {
+        if let Some(mark) = self.mark {
             if sample.at < mark {
                 self.late += 1;
                 return Admission::Late;
             }
         }
-        self.max_seen = Some(match self.max_seen {
-            Some(max) if max >= sample.at => max,
-            _ => sample.at,
-        });
-        self.buf.insert((time_key(sample.at), seq), sample);
+        match self.max_seen {
+            Some(max) if max >= sample.at => {}
+            _ => {
+                self.max_seen = Some(sample.at);
+                if let Some(bound) = self.lateness {
+                    self.mark = Some(sample.at - bound);
+                }
+            }
+        }
+        let key = time_key(sample.at);
+        // An in-order arrival (the common case) compares at or above the
+        // current tail: append, which also keeps equal keys in arrival
+        // order. A straggler binary-searches the slot *after* its
+        // equal-key run; everything behind it is a newer-timestamped entry
+        // from the same few ticks, so the shift is a short contiguous move.
+        match self.buf.last() {
+            Some(&(last_key, _)) if key < last_key => {
+                // Walk back from the tail: a straggler's displacement is a
+                // handful of same-tick entries, so the adjacent-memory scan
+                // beats a binary search over the whole buffer — and the
+                // scan is never longer than the memmove `insert` pays
+                // anyway.
+                let mut slot = self.buf.len() - 1;
+                while slot > 0 && self.buf[slot - 1].0 > key {
+                    slot -= 1;
+                }
+                self.buf.insert(slot, (key, sample));
+            }
+            _ => self.buf.push((key, sample)),
+        }
         Admission::Admitted
     }
 
@@ -125,34 +167,57 @@ impl ReorderBuffer {
     /// emitted here.
     pub fn drain_ready(&mut self) -> Vec<Sample> {
         let mut out = Vec::new();
+        self.drain_ready_into(&mut out);
+        out
+    }
+
+    /// [`ReorderBuffer::drain_ready`] appending into a caller-owned buffer,
+    /// so a steady-state pipeline can reuse one allocation across flushes.
+    pub fn drain_ready_into(&mut self, out: &mut Vec<Sample>) {
+        self.drain_ready_with(|sample| out.push(sample));
+    }
+
+    /// [`ReorderBuffer::drain_ready`] handing each released sample to a
+    /// consumer callback in time order — the zero-copy path a batch
+    /// consumer uses to regroup samples per sink without staging them in
+    /// an intermediate buffer.
+    pub fn drain_ready_with(&mut self, mut consume: impl FnMut(Sample)) {
+        let mut release = 0;
         if let Some(mark) = self.watermark() {
             if mark >= TimeSpan::ZERO {
                 let limit = time_key(mark);
-                while let Some(entry) = self.buf.first_entry() {
-                    if entry.key().0 > limit {
-                        break;
-                    }
-                    out.push(entry.remove());
-                }
+                release = self.buf.partition_point(|&(t, _)| t <= limit);
             }
         }
-        while self.buf.len() > self.capacity {
-            let Some(entry) = self.buf.first_entry() else {
-                break;
-            };
-            out.push(entry.remove());
-            self.forced += 1;
+        if self.buf.len() - release > self.capacity {
+            let forced = self.buf.len() - self.capacity - release;
+            self.forced += forced as u64;
+            release += forced;
         }
-        out
+        for (_, sample) in self.buf.drain(..release) {
+            consume(sample);
+        }
     }
 
     /// Releases everything still buffered, in time order (end-of-stream).
     pub fn drain_all(&mut self) -> Vec<Sample> {
-        let mut out = Vec::with_capacity(self.buf.len());
-        while let Some(entry) = self.buf.first_entry() {
-            out.push(entry.remove());
-        }
+        let mut out = Vec::new();
+        self.drain_all_into(&mut out);
         out
+    }
+
+    /// [`ReorderBuffer::drain_all`] appending into a caller-owned buffer.
+    pub fn drain_all_into(&mut self, out: &mut Vec<Sample>) {
+        out.extend(self.buf.drain(..).map(|(_, sample)| sample));
+    }
+
+    /// [`ReorderBuffer::drain_all`] handing each sample to a consumer
+    /// callback in time order (end-of-stream counterpart of
+    /// [`ReorderBuffer::drain_ready_with`]).
+    pub fn drain_all_with(&mut self, mut consume: impl FnMut(Sample)) {
+        for (_, sample) in self.buf.drain(..) {
+            consume(sample);
+        }
     }
 
     /// Number of buffered samples.
@@ -199,8 +264,8 @@ mod tests {
     fn releases_in_time_order() {
         let mut buf = ReorderBuffer::new(16, Some(TimeSpan::from_secs(1.0)));
         // Skewed arrivals, each within the 1 s bound of the running max.
-        for (i, at) in [1.0, 0.5, 2.0, 1.5, 3.0, 2.5, 5.0].iter().enumerate() {
-            assert_eq!(buf.admit(s(*at), i as u64), Admission::Admitted);
+        for at in [1.0, 0.5, 2.0, 1.5, 3.0, 2.5, 5.0].iter() {
+            assert_eq!(buf.admit(s(*at)), Admission::Admitted);
         }
         // Watermark = 5 − 1 = 4: everything ≤ 4 s is ready, in time order.
         let out: Vec<f64> = buf.drain_ready().iter().map(|x| x.at.as_secs()).collect();
@@ -218,9 +283,9 @@ mod tests {
             at: TimeSpan::from_secs(7.0),
             power: Power::from_watts(1.0),
         };
-        buf.admit(mk(2), 0);
-        buf.admit(mk(0), 1);
-        buf.admit(mk(1), 2);
+        buf.admit(mk(2));
+        buf.admit(mk(0));
+        buf.admit(mk(1));
         let order: Vec<usize> = buf.drain_all().iter().map(|x| x.local).collect();
         assert_eq!(order, vec![2, 0, 1]);
     }
@@ -228,9 +293,9 @@ mod tests {
     #[test]
     fn late_samples_are_refused_and_tallied() {
         let mut buf = ReorderBuffer::new(16, Some(TimeSpan::from_secs(2.0)));
-        buf.admit(s(10.0), 0);
-        assert_eq!(buf.admit(s(7.9), 1), Admission::Late);
-        assert_eq!(buf.admit(s(8.1), 2), Admission::Admitted);
+        buf.admit(s(10.0));
+        assert_eq!(buf.admit(s(7.9)), Admission::Late);
+        assert_eq!(buf.admit(s(8.1)), Admission::Admitted);
         assert_eq!(buf.late(), 1);
         assert_eq!(buf.watermark(), Some(TimeSpan::from_secs(8.0)));
     }
@@ -238,8 +303,8 @@ mod tests {
     #[test]
     fn infinite_bound_never_marks_late_and_holds_everything() {
         let mut buf = ReorderBuffer::new(16, None);
-        buf.admit(s(100.0), 0);
-        assert_eq!(buf.admit(s(0.0), 1), Admission::Admitted);
+        buf.admit(s(100.0));
+        assert_eq!(buf.admit(s(0.0)), Admission::Admitted);
         assert!(buf.watermark().is_none());
         assert!(buf.drain_ready().is_empty(), "nothing releases on its own");
         assert_eq!(buf.drain_all().len(), 2);
@@ -248,8 +313,8 @@ mod tests {
     #[test]
     fn capacity_forces_oldest_out_in_order() {
         let mut buf = ReorderBuffer::new(3, None);
-        for (i, at) in [5.0, 2.0, 8.0, 1.0, 9.0].iter().enumerate() {
-            buf.admit(s(*at), i as u64);
+        for at in [5.0, 2.0, 8.0, 1.0, 9.0].iter() {
+            buf.admit(s(*at));
         }
         assert_eq!(buf.len(), 5);
         let out: Vec<f64> = buf.drain_ready().iter().map(|x| x.at.as_secs()).collect();

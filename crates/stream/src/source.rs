@@ -46,6 +46,10 @@ pub struct MeterSource {
     reads: u64,
     retries: u64,
     lost: u64,
+    /// Injector timeout tally as of the last failed read — tracked
+    /// incrementally so the hot success path never snapshots the full
+    /// fault-count struct.
+    seen_timeouts: u64,
     backoff_waited: TimeSpan,
 }
 
@@ -60,6 +64,7 @@ impl MeterSource {
             reads: 0,
             retries: 0,
             lost: 0,
+            seen_timeouts: 0,
             backoff_waited: TimeSpan::ZERO,
         }
     }
@@ -89,11 +94,16 @@ impl MeterSource {
         let mut attempt: u32 = 0;
         let mut read_at = at;
         loop {
-            let timeouts_before = self.injector.counts().timeouts;
             if let Some((t, p)) = self.injector.corrupt(read_at, interval, truth) {
                 return MeterRead::Sample(t, p);
             }
-            let timed_out = self.injector.counts().timeouts > timeouts_before;
+            // Only a failed read can have bumped the timeout tally (a
+            // successful corrupt pass never does), so comparing against the
+            // incrementally tracked total on the failure path alone is
+            // equivalent to snapshotting it before every read.
+            let timeouts = self.injector.counts().timeouts;
+            let timed_out = timeouts > self.seen_timeouts;
+            self.seen_timeouts = timeouts;
             if !timed_out || attempt >= max_retries {
                 // Dropouts are not retryable, and a timeout that exhausted
                 // its retries is a lost tick either way.

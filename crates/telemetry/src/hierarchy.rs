@@ -146,19 +146,38 @@ impl EnergyRollup {
     /// root `""`. Leading/trailing `/` are ignored.
     pub fn add(&mut self, path: &str, delta: Energy) {
         let path = path.trim_matches('/');
-        *self.nodes.entry(String::new()).or_insert(Energy::ZERO) += delta;
+        self.bump("", delta);
         if path.is_empty() {
             return;
         }
         for (i, byte) in path.bytes().enumerate() {
             if byte == b'/' {
-                *self
-                    .nodes
-                    .entry(path[..i].to_owned())
-                    .or_insert(Energy::ZERO) += delta;
+                self.bump(&path[..i], delta);
             }
         }
-        *self.nodes.entry(path.to_owned()).or_insert(Energy::ZERO) += delta;
+        self.bump(path, delta);
+    }
+
+    /// Credits one node, allocating its key only on first sight so a
+    /// steady-state maintainer (re-`add`ing the same paths every flush)
+    /// never allocates.
+    fn bump(&mut self, key: &str, delta: Energy) {
+        if let Some(node) = self.nodes.get_mut(key) {
+            *node += delta;
+        } else {
+            self.nodes.insert(key.to_owned(), delta);
+        }
+    }
+
+    /// Zeroes every node total in place, keeping the allocated key set, so
+    /// a maintainer that recomputes totals from scratch each flush (the
+    /// streaming pipeline's determinism contract) reuses the path strings
+    /// instead of rebuilding the map. Energy totals are monotone, so a key
+    /// that was live stays live: no stale zero nodes accumulate.
+    pub fn zero(&mut self) {
+        for node in self.nodes.values_mut() {
+            *node = Energy::ZERO;
+        }
     }
 
     /// Cumulative energy at a node (`""` = the whole hierarchy). Unknown

@@ -3,6 +3,13 @@
 //! A [`PowerTrace`] is an ordered series of `(timestamp, power)` samples with
 //! trapezoidal energy integration, resampling, and point-wise combination —
 //! the exchange format between the telemetry layer and the fleet simulator.
+//!
+//! Storage is columnar (structure-of-arrays): timestamps and powers live in
+//! two parallel `Vec`s so the batched integration kernel
+//! ([`PowerTrace::push_batch`], [`crate::meter`]) can append whole validated
+//! runs with two contiguous `extend`s and scan a single column without
+//! striding over interleaved pairs. The public API still speaks
+//! `(TimeSpan, Power)` pairs, and the serialized form is unchanged.
 
 use serde::{Deserialize, Serialize};
 
@@ -33,9 +40,12 @@ pub struct GapFill {
 /// trace.push(TimeSpan::from_secs(60.0), Power::from_watts(100.0));
 /// assert!((trace.energy().as_joules() - 6000.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PowerTrace {
-    samples: Vec<(TimeSpan, Power)>,
+    /// Sample timestamps, non-decreasing (column 1 of the SoA layout).
+    times: Vec<TimeSpan>,
+    /// Sample powers, index-aligned with `times` (column 2).
+    powers: Vec<Power>,
     /// Out-of-order pushes rejected since construction — kept on the trace
     /// so a collector that ignored `push`'s return value still cannot lose
     /// samples invisibly.
@@ -51,14 +61,105 @@ impl PowerTrace {
     /// Appends a sample. Out-of-order timestamps are rejected (returns
     /// `false`) and tallied in [`PowerTrace::rejected`].
     pub fn push(&mut self, at: TimeSpan, power: Power) -> bool {
-        if let Some(&(last, _)) = self.samples.last() {
+        if let Some(&last) = self.times.last() {
             if at < last {
                 self.rejected += 1;
                 return false;
             }
         }
-        self.samples.push((at, power));
+        self.times.push(at);
+        self.powers.push(power);
         true
+    }
+
+    /// Appends a batch of sampling ticks: `Some(power)` entries are recorded,
+    /// `None` (lost-tick) entries are skipped — a lost tick has nothing to
+    /// record; the integrator, not the trace, accounts for it. Contiguous
+    /// runs of observed, in-order samples are appended columnar with two
+    /// `extend`s; out-of-order samples are rejected and tallied exactly as
+    /// [`PowerTrace::push`] would. Returns the number of samples appended.
+    pub fn push_batch(&mut self, samples: &[(TimeSpan, Option<Power>)]) -> usize {
+        self.push_batch_inner(samples, true)
+    }
+
+    /// [`PowerTrace::push_batch`] for a batch whose out-of-order entries
+    /// the caller has *already accounted* (e.g. a pipeline whose monotone
+    /// integrator tallied them as rejected before mirroring the batch into
+    /// the trace): they are skipped here without touching
+    /// [`PowerTrace::rejected`], so the tally is not double-counted.
+    /// Returns the number of samples appended.
+    pub fn push_batch_vetted(&mut self, samples: &[(TimeSpan, Option<Power>)]) -> usize {
+        self.push_batch_inner(samples, false)
+    }
+
+    /// [`PowerTrace::push_batch_vetted`] for a batch of observed readings
+    /// only: plain `(time, power)` pairs with no lost-tick tombstones and
+    /// no per-sample `Option` discriminant. Out-of-order entries are
+    /// skipped without tallying, exactly as in the vetted path. Returns
+    /// the number of samples appended.
+    pub fn push_batch_observed(&mut self, samples: &[(TimeSpan, Power)]) -> usize {
+        let mut appended = 0;
+        let mut i = 0;
+        while i < samples.len() {
+            let (at, _) = samples[i];
+            if self.times.last().is_some_and(|&last| at < last) {
+                i += 1;
+                continue;
+            }
+            // Maximal clean run: samples in non-decreasing order.
+            let mut j = i + 1;
+            let mut prev = at;
+            while j < samples.len() {
+                let (t, _) = samples[j];
+                if t >= prev {
+                    prev = t;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let run = &samples[i..j];
+            self.times.extend(run.iter().map(|&(t, _)| t));
+            self.powers.extend(run.iter().map(|&(_, p)| p));
+            appended += j - i;
+            i = j;
+        }
+        appended
+    }
+
+    fn push_batch_inner(&mut self, samples: &[(TimeSpan, Option<Power>)], tally: bool) -> usize {
+        let mut appended = 0;
+        let mut i = 0;
+        while i < samples.len() {
+            let (at, sample) = samples[i];
+            if sample.is_none() {
+                i += 1;
+                continue;
+            }
+            if self.times.last().is_some_and(|&last| at < last) {
+                self.rejected += u64::from(tally);
+                i += 1;
+                continue;
+            }
+            // Maximal clean run: observed samples in non-decreasing order.
+            let mut j = i + 1;
+            let mut prev = at;
+            while j < samples.len() {
+                match samples[j] {
+                    (t, Some(_)) if t >= prev => {
+                        prev = t;
+                        j += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let run = &samples[i..j];
+            self.times.extend(run.iter().map(|&(t, _)| t));
+            self.powers.extend(run.iter().filter_map(|&(_, p)| p));
+            appended += j - i;
+            i = j;
+        }
+        appended
     }
 
     /// Number of out-of-order pushes rejected since construction.
@@ -68,28 +169,39 @@ impl PowerTrace {
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.times.len()
     }
 
     /// Whether the trace has no samples.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.times.is_empty()
     }
 
-    /// The samples as a slice.
-    pub fn samples(&self) -> &[(TimeSpan, Power)] {
-        &self.samples
+    /// The timestamp column (non-decreasing, index-aligned with
+    /// [`PowerTrace::powers`]).
+    pub fn times(&self) -> &[TimeSpan] {
+        &self.times
+    }
+
+    /// The power column (index-aligned with [`PowerTrace::times`]).
+    pub fn powers(&self) -> &[Power] {
+        &self.powers
+    }
+
+    /// The most recent timestamp, if any.
+    pub fn last_time(&self) -> Option<TimeSpan> {
+        self.times.last().copied()
     }
 
     /// Iterates `(timestamp, power)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (TimeSpan, Power)> + '_ {
-        self.samples.iter().copied()
+        self.times.iter().copied().zip(self.powers.iter().copied())
     }
 
     /// The time covered by the trace.
     pub fn duration(&self) -> TimeSpan {
-        match (self.samples.first(), self.samples.last()) {
-            (Some(&(a, _)), Some(&(b, _))) => b - a,
+        match (self.times.first(), self.times.last()) {
+            (Some(&a), Some(&b)) => b - a,
             _ => TimeSpan::ZERO,
         }
     }
@@ -97,10 +209,9 @@ impl PowerTrace {
     /// Trapezoidal energy integral over the trace.
     pub fn energy(&self) -> Energy {
         let mut total = Energy::ZERO;
-        for w in self.samples.windows(2) {
-            if let [(t0, p0), (t1, p1)] = *w {
-                total += (p0 + p1) * 0.5 * (t1 - t0);
-            }
+        for i in 1..self.times.len() {
+            total +=
+                (self.powers[i - 1] + self.powers[i]) * 0.5 * (self.times[i] - self.times[i - 1]);
         }
         total
     }
@@ -117,29 +228,23 @@ impl PowerTrace {
 
     /// Peak sampled power (zero for an empty trace).
     pub fn peak_power(&self) -> Power {
-        self.samples
-            .iter()
-            .map(|&(_, p)| p)
-            .fold(Power::ZERO, Power::max)
+        self.powers.iter().copied().fold(Power::ZERO, Power::max)
     }
 
     /// Power at time `t` by linear interpolation. Returns `None` outside the
     /// covered window or for an empty trace.
     pub fn power_at(&self, t: TimeSpan) -> Option<Power> {
-        let first = self.samples.first()?.0;
-        let last = self.samples.last()?.0;
+        let first = *self.times.first()?;
+        let last = *self.times.last()?;
         if t < first || t > last {
             return None;
         }
-        let idx = self
-            .samples
-            .partition_point(|&(ts, _)| ts <= t)
-            .saturating_sub(1);
-        let (t0, p0) = self.samples[idx];
-        if idx + 1 >= self.samples.len() || t == t0 {
+        let idx = self.times.partition_point(|&ts| ts <= t).saturating_sub(1);
+        let (t0, p0) = (self.times[idx], self.powers[idx]);
+        if idx + 1 >= self.times.len() || t == t0 {
             return Some(p0);
         }
-        let (t1, p1) = self.samples[idx + 1];
+        let (t1, p1) = (self.times[idx + 1], self.powers[idx + 1]);
         if t1 == t0 {
             return Some(p1);
         }
@@ -157,11 +262,10 @@ impl PowerTrace {
     pub fn resample(&self, interval: TimeSpan) -> PowerTrace {
         assert!(interval.as_secs() > 0.0, "interval must be positive");
         let mut out = PowerTrace::new();
-        let (Some(&(start, _)), Some(&(end, _))) = (self.samples.first(), self.samples.last())
-        else {
+        let (Some(&start), Some(&end)) = (self.times.first(), self.times.last()) else {
             return out;
         };
-        if self.samples.len() < 2 {
+        if self.times.len() < 2 {
             return out;
         }
         let mut t = start;
@@ -204,13 +308,12 @@ impl PowerTrace {
         let mut trace = PowerTrace::new();
         let mut imputed = Energy::ZERO;
         let mut gaps = 0;
-        if let Some(&first) = self.samples.first() {
-            trace.push(first.0, first.1);
+        if let (Some(&t), Some(&p)) = (self.times.first(), self.powers.first()) {
+            trace.push(t, p);
         }
-        for w in self.samples.windows(2) {
-            let [(t0, p0), (t1, p1)] = *w else {
-                continue;
-            };
+        for i in 1..self.times.len() {
+            let (t0, p0) = (self.times[i - 1], self.powers[i - 1]);
+            let (t1, p1) = (self.times[i], self.powers[i]);
             if t1 - t0 > limit {
                 gaps += 1;
                 // Insert grid points across the gap, then account the whole
@@ -247,10 +350,10 @@ impl PowerTrace {
     /// power is assembled from per-device traces.
     pub fn combine(&self, other: &PowerTrace) -> PowerTrace {
         let mut times: Vec<TimeSpan> = self
-            .samples
+            .times
             .iter()
-            .chain(other.samples.iter())
-            .map(|&(t, _)| t)
+            .chain(other.times.iter())
+            .copied()
             .collect();
         times.sort_unstable();
         times.dedup();
@@ -261,6 +364,32 @@ impl PowerTrace {
             out.push(t, a + b);
         }
         out
+    }
+}
+
+// Manual serde impls: the SoA columns serialize as the same
+// `{"samples": [[t, p], ...], "rejected": n}` object the pre-SoA derive
+// produced, so persisted traces stay readable across the layout change.
+impl Serialize for PowerTrace {
+    fn to_value(&self) -> serde::Value {
+        let samples: Vec<(TimeSpan, Power)> = self.iter().collect();
+        serde::Value::Object(vec![
+            ("samples".to_owned(), samples.to_value()),
+            ("rejected".to_owned(), self.rejected.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PowerTrace {
+    fn from_value(v: &serde::Value) -> Result<PowerTrace, serde::Error> {
+        let samples: Vec<(TimeSpan, Power)> = serde::decode_field(v, "samples")?;
+        let rejected: u64 = serde::decode_field(v, "rejected")?;
+        let (times, powers) = samples.into_iter().unzip();
+        Ok(PowerTrace {
+            times,
+            powers,
+            rejected,
+        })
     }
 }
 
@@ -378,6 +507,56 @@ mod tests {
         assert!(!t.push(TimeSpan::from_secs(1.0), Power::from_watts(1.0)));
         assert_eq!(t.len(), 1);
         assert_eq!(t.rejected(), 1, "the rejection must be tallied");
+    }
+
+    #[test]
+    fn push_batch_matches_per_sample_push() {
+        let batch: Vec<(TimeSpan, Option<Power>)> = vec![
+            (TimeSpan::from_secs(0.0), Some(Power::from_watts(10.0))),
+            (TimeSpan::from_secs(1.0), Some(Power::from_watts(20.0))),
+            (TimeSpan::from_secs(2.0), None),
+            (TimeSpan::from_secs(3.0), Some(Power::from_watts(30.0))),
+            (TimeSpan::from_secs(1.5), Some(Power::from_watts(40.0))), // out of order
+            (TimeSpan::from_secs(4.0), Some(Power::from_watts(50.0))),
+        ];
+        let mut batched = PowerTrace::new();
+        let appended = batched.push_batch(&batch);
+        let mut reference = PowerTrace::new();
+        for &(at, sample) in &batch {
+            if let Some(p) = sample {
+                reference.push(at, p);
+            }
+        }
+        assert_eq!(batched, reference);
+        assert_eq!(appended, 4);
+        assert_eq!(batched.rejected(), 1);
+    }
+
+    #[test]
+    fn push_batch_splits_at_every_boundary() {
+        // Alternate observed / lost so no two observed samples are adjacent:
+        // the run-splitter must still land every observed sample.
+        let batch: Vec<(TimeSpan, Option<Power>)> = (0..10)
+            .map(|i| {
+                let p = (i % 2 == 0).then(|| Power::from_watts(100.0 + i as f64));
+                (TimeSpan::from_secs(i as f64), p)
+            })
+            .collect();
+        let mut t = PowerTrace::new();
+        assert_eq!(t.push_batch(&batch), 5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.rejected(), 0);
+        assert_eq!(t.powers()[1], Power::from_watts(102.0));
+    }
+
+    #[test]
+    fn soa_columns_stay_aligned() {
+        let t = ramp();
+        assert_eq!(t.times().len(), t.powers().len());
+        assert_eq!(t.last_time(), Some(TimeSpan::from_secs(10.0)));
+        let pairs: Vec<(TimeSpan, Power)> = t.iter().collect();
+        assert_eq!(pairs.len(), t.len());
+        assert_eq!(pairs[0], (TimeSpan::from_secs(0.0), Power::from_watts(0.0)));
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Differential property suite for the batched SoA integration kernels.
+//!
+//! The batched entry points ([`EnergyIntegrator::push_batch`],
+//! [`FaultTolerantIntegrator::push_batch`], the dense `*_observed`
+//! variants, and the SoA [`PowerTrace`] batch appends) promise *bitwise*
+//! equivalence with the per-sample paths — same float accumulation order,
+//! same tallies, same imputation — for any sample sequence and any way of
+//! cutting it into batches. These properties drive arbitrary fault shapes
+//! (lost ticks, out-of-order stragglers, gaps past the detection limit)
+//! through both paths at arbitrary batch boundaries and require identical
+//! end states.
+
+use proptest::prelude::*;
+
+use sustain_core::units::{Power, TimeSpan};
+use sustain_telemetry::faults::ImputationPolicy;
+use sustain_telemetry::meter::{EnergyIntegrator, FaultTolerantIntegrator};
+use sustain_telemetry::trace::PowerTrace;
+
+/// Decodes a proptest-generated tick list into a fault-bearing sample
+/// sequence. Per tick, the kind byte selects the timestamp step — clean
+/// (+1 s), a gap past the detection limit (+4.5 s), or an out-of-order
+/// regression (−0.6 s) — and whether the reading was lost (`None`).
+fn decode(ticks: &[(u8, f64)]) -> Vec<(TimeSpan, Option<Power>)> {
+    let mut at = 100.0f64;
+    ticks
+        .iter()
+        .map(|&(kind, watts)| {
+            at += match kind % 8 {
+                0 => -0.6,
+                1 => 4.5,
+                _ => 1.0,
+            };
+            let sample = (kind % 8 != 2).then(|| Power::from_watts(watts));
+            (TimeSpan::from_secs(at), sample)
+        })
+        .collect()
+}
+
+/// Turns raw cut points into sorted, deduplicated batch boundaries over
+/// `len` samples, always including both ends.
+fn boundaries(cuts: &[usize], len: usize) -> Vec<usize> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (len + 1)).collect();
+    bounds.push(0);
+    bounds.push(len);
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+}
+
+fn policy(pick: u8) -> ImputationPolicy {
+    match pick % 3 {
+        0 => ImputationPolicy::Linear,
+        1 => ImputationPolicy::LastObservation,
+        _ => ImputationPolicy::ModelBased {
+            assumed: Power::from_watts(111.0),
+        },
+    }
+}
+
+proptest! {
+    /// `FaultTolerantIntegrator::push_batch` at arbitrary batch
+    /// boundaries is bitwise identical to per-sample pushes: same quality
+    /// report, same measured/imputed energy bits, same resume point.
+    #[test]
+    fn fault_tolerant_push_batch_is_split_invariant(
+        ticks in prop::collection::vec((0u8..255, 1.0f64..500.0), 1..120),
+        cuts in prop::collection::vec(0usize..128, 0..6),
+        pick in 0u8..255,
+    ) {
+        let samples = decode(&ticks);
+        let interval = TimeSpan::from_secs(1.0);
+
+        let mut reference = FaultTolerantIntegrator::new(interval, policy(pick));
+        let mut accepted_ref = 0usize;
+        for &(at, p) in &samples {
+            accepted_ref += usize::from(reference.push(at, p) && p.is_some());
+        }
+
+        let mut batched = FaultTolerantIntegrator::new(interval, policy(pick));
+        let mut accepted_batch = 0usize;
+        for pair in boundaries(&cuts, samples.len()).windows(2) {
+            accepted_batch += batched.push_batch(&samples[pair[0]..pair[1]]);
+        }
+
+        prop_assert_eq!(accepted_ref, accepted_batch);
+        prop_assert_eq!(reference.last_sample(), batched.last_sample());
+        let (r, b) = (reference.report(), batched.report());
+        prop_assert_eq!(&r, &b);
+        prop_assert_eq!(
+            r.measured_energy.as_joules().to_bits(),
+            b.measured_energy.as_joules().to_bits(),
+            "measured energy must match bit for bit"
+        );
+        prop_assert_eq!(
+            r.imputed_energy.as_joules().to_bits(),
+            b.imputed_energy.as_joules().to_bits(),
+            "imputed energy must match bit for bit"
+        );
+    }
+
+    /// `EnergyIntegrator::push_batch` at arbitrary boundaries leaves the
+    /// integrator in exactly the per-sample end state (the struct is
+    /// `PartialEq`: energy, counts, window, resume point).
+    #[test]
+    fn energy_push_batch_is_split_invariant(
+        ticks in prop::collection::vec((0u8..255, 1.0f64..500.0), 1..120),
+        cuts in prop::collection::vec(0usize..128, 0..6),
+    ) {
+        let dense: Vec<(TimeSpan, Power)> = decode(&ticks)
+            .into_iter()
+            .filter_map(|(t, p)| p.map(|p| (t, p)))
+            .collect();
+
+        let mut reference = EnergyIntegrator::new();
+        for &(at, p) in &dense {
+            reference.push(at, p);
+        }
+        let mut batched = EnergyIntegrator::new();
+        for pair in boundaries(&cuts, dense.len()).windows(2) {
+            batched.push_batch(&dense[pair[0]..pair[1]]);
+        }
+        prop_assert_eq!(reference, batched);
+        prop_assert_eq!(
+            reference.energy().as_joules().to_bits(),
+            batched.energy().as_joules().to_bits()
+        );
+    }
+
+    /// The SoA trace matches a plain AoS reference model under per-sample
+    /// pushes, batch appends at arbitrary boundaries agree with both, and
+    /// `fill_gaps` reads the two columns coherently however the trace was
+    /// built.
+    #[test]
+    fn trace_soa_matches_aos_reference_model(
+        ticks in prop::collection::vec((0u8..255, 1.0f64..500.0), 1..120),
+        cuts in prop::collection::vec(0usize..128, 0..6),
+    ) {
+        let samples = decode(&ticks);
+
+        // Reference AoS model: a flat (time, power) vec with the trace's
+        // accept rule — observed samples append unless out of order.
+        let mut model: Vec<(f64, f64)> = Vec::new();
+        let mut model_rejected = 0u64;
+        for &(at, p) in &samples {
+            let Some(p) = p else { continue };
+            if model.last().is_some_and(|&(last, _)| at.as_secs() < last) {
+                model_rejected += 1;
+            } else {
+                model.push((at.as_secs(), p.as_watts()));
+            }
+        }
+
+        let mut pushed = PowerTrace::new();
+        for &(at, p) in &samples {
+            if let Some(p) = p {
+                pushed.push(at, p);
+            }
+        }
+        let mut batched = PowerTrace::new();
+        for pair in boundaries(&cuts, samples.len()).windows(2) {
+            batched.push_batch(&samples[pair[0]..pair[1]]);
+        }
+
+        // Iteration over the SoA columns reproduces the AoS model bit for
+        // bit, and the batched build matches the per-sample build exactly.
+        prop_assert_eq!(pushed.len(), model.len());
+        for ((t, p), &(mt, mp)) in pushed.iter().zip(&model) {
+            prop_assert_eq!(t.as_secs().to_bits(), mt.to_bits());
+            prop_assert_eq!(p.as_watts().to_bits(), mp.to_bits());
+        }
+        prop_assert_eq!(pushed.rejected(), model_rejected);
+        prop_assert_eq!(batched.times(), pushed.times());
+        prop_assert_eq!(batched.powers(), pushed.powers());
+        prop_assert_eq!(batched.rejected(), pushed.rejected());
+
+        let interval = TimeSpan::from_secs(1.0);
+        let fill_pushed = pushed.fill_gaps(interval, ImputationPolicy::Linear);
+        let fill_batched = batched.fill_gaps(interval, ImputationPolicy::Linear);
+        prop_assert_eq!(fill_pushed, fill_batched);
+    }
+
+    /// The dense observed-only fast paths (`push_batch_observed` on the
+    /// integrator and the trace) are bitwise identical to the
+    /// `Option`-typed batch paths over the same readings.
+    #[test]
+    fn observed_fast_path_matches_option_path(
+        ticks in prop::collection::vec((0u8..255, 1.0f64..500.0), 1..120),
+        cuts in prop::collection::vec(0usize..128, 0..6),
+        pick in 0u8..255,
+    ) {
+        let dense: Vec<(TimeSpan, Power)> = decode(&ticks)
+            .into_iter()
+            .filter_map(|(t, p)| p.map(|p| (t, p)))
+            .collect();
+        let wrapped: Vec<(TimeSpan, Option<Power>)> =
+            dense.iter().map(|&(t, p)| (t, Some(p))).collect();
+        let interval = TimeSpan::from_secs(1.0);
+
+        let mut option_path = FaultTolerantIntegrator::new(interval, policy(pick));
+        let mut dense_path = FaultTolerantIntegrator::new(interval, policy(pick));
+        let mut accepted_option = 0usize;
+        let mut accepted_dense = 0usize;
+        for pair in boundaries(&cuts, dense.len()).windows(2) {
+            accepted_option += option_path.push_batch(&wrapped[pair[0]..pair[1]]);
+            accepted_dense += dense_path.push_batch_observed(&dense[pair[0]..pair[1]]);
+        }
+        prop_assert_eq!(accepted_option, accepted_dense);
+        prop_assert_eq!(option_path.last_sample(), dense_path.last_sample());
+        prop_assert_eq!(option_path.report(), dense_path.report());
+
+        let mut trace_option = PowerTrace::new();
+        let mut trace_dense = PowerTrace::new();
+        for pair in boundaries(&cuts, dense.len()).windows(2) {
+            trace_option.push_batch_vetted(&wrapped[pair[0]..pair[1]]);
+            trace_dense.push_batch_observed(&dense[pair[0]..pair[1]]);
+        }
+        prop_assert_eq!(trace_option.times(), trace_dense.times());
+        prop_assert_eq!(trace_option.powers(), trace_dense.powers());
+        // Both vetted paths skip out-of-order entries without tallying.
+        prop_assert_eq!(trace_option.rejected(), 0);
+        prop_assert_eq!(trace_dense.rejected(), 0);
+    }
+}

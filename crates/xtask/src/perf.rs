@@ -322,6 +322,7 @@ pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
         ("fanout", &["serial", "parallel"][..]),
         ("cache", &["cold", "warm"][..]),
         ("stream", &["serial", "parallel"][..]),
+        ("energy_integrate", &["clean", "faulty"][..]),
     ] {
         for key in keys {
             add(
@@ -371,8 +372,13 @@ pub enum RowVerdict {
         /// The failing row's allowance, in milliseconds.
         allowed_ms: f64,
     },
-    /// Present in only one report.
+    /// Present in the baseline but missing from the current report.
     Unmatched,
+    /// Present in the current report but not the baseline — a freshly
+    /// added bench row. Informational only: a new row has no history to
+    /// regress against, and failing on it would force every bench
+    /// addition to land in two commits (row first, baseline second).
+    NewRow,
     /// Below the measurement floor in the baseline — too noisy to gate on.
     TooSmall,
 }
@@ -384,7 +390,8 @@ impl fmt::Display for RowVerdict {
             RowVerdict::Regressed { allowed_ms } => {
                 write!(f, "REGRESSED (allowed {allowed_ms:.3} ms)")
             }
-            RowVerdict::Unmatched => write!(f, "unmatched"),
+            RowVerdict::Unmatched => write!(f, "unmatched (missing from current run)"),
+            RowVerdict::NewRow => write!(f, "new row (no baseline; informational)"),
             RowVerdict::TooSmall => write!(f, "skipped (sub-ms row)"),
         }
     }
@@ -504,7 +511,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport) -> PerfCheck {
     }
     for name in current.rows.keys() {
         if !baseline.rows.contains_key(name) {
-            verdicts.push((name.clone(), RowVerdict::Unmatched));
+            verdicts.push((name.clone(), RowVerdict::NewRow));
         }
     }
     PerfCheck::Compared(verdicts)
@@ -671,6 +678,53 @@ mod tests {
             panic!("expected comparison");
         };
         assert_eq!(rows.len(), 2);
-        assert!(rows.iter().all(|(_, v)| *v == RowVerdict::Unmatched));
+        // Baseline-only row: unmatched. Current-only row: a new bench row,
+        // reported as informational rather than lumped in with unmatched.
+        assert_eq!(
+            rows.iter()
+                .find(|(n, _)| n == "fanout.serial")
+                .map(|r| &r.1),
+            Some(&RowVerdict::Unmatched)
+        );
+        assert_eq!(
+            rows.iter().find(|(n, _)| n == "cache.cold").map(|r| &r.1),
+            Some(&RowVerdict::NewRow)
+        );
+    }
+
+    #[test]
+    fn new_bench_rows_are_informational() {
+        let base = report(Some(2), &[("fanout.serial", 100.0, 95.0, 5.0)]);
+        let cur = report(
+            Some(2),
+            &[
+                ("fanout.serial", 100.0, 95.0, 5.0),
+                ("energy_integrate.clean", 4.0, 3.8, 0.3),
+            ],
+        );
+        let check = compare(&base, &cur);
+        assert!(check.passed(), "a new row must never fail the gate");
+        let PerfCheck::Compared(rows) = check else {
+            panic!("expected comparison");
+        };
+        assert_eq!(
+            rows.iter()
+                .find(|(n, _)| n == "energy_integrate.clean")
+                .map(|r| &r.1),
+            Some(&RowVerdict::NewRow)
+        );
+    }
+
+    #[test]
+    fn energy_integrate_rows_parse() {
+        let report = parse_bench(
+            "{\"schema_version\": 2, \"host\": {\"available_parallelism\": 8, \
+             \"os\": \"linux\"}, \"quick\": false, \"energy_integrate\": {\
+             \"samples\": 1000000, \"clean\": {\"median_ms\": 4.0, \"min_ms\": 3.8}, \
+             \"faulty\": {\"median_ms\": 5.0, \"min_ms\": 4.7}}}",
+        )
+        .expect("parses");
+        assert!(report.rows.contains_key("energy_integrate.clean"));
+        assert!(report.rows.contains_key("energy_integrate.faulty"));
     }
 }
