@@ -1,4 +1,4 @@
-//! Discrete-time fleet simulation.
+//! Event-driven fleet simulation.
 //!
 //! [`FleetSim`] ties the workspace together: calibrated job arrivals
 //! ([`JobGenerator`]) land on a GPU [`Cluster`] inside a [`DataCenter`];
@@ -6,6 +6,16 @@
 //! integrated hourly through the SKU power models; and the result is a full
 //! [`CarbonFootprint`] (operational under both accounting bases + amortized
 //! embodied carbon) plus queueing/utilization statistics.
+//!
+//! The run loop sits on the [`sustain_des`] discrete-event engine: each
+//! simulated hour is a train of events at the hour boundary — `JobArrival`,
+//! `HostCrash`/`SdcDetected` (chaos runs only), `CheckpointTick` (progress
+//! and busy-energy integration), the `JobCompletion` events it schedules,
+//! and an `IntensityTick` that rolls the hour's energy into the carbon
+//! accounts and schedules the next hour. Stable `(timestamp, seq)` ordering
+//! makes the event train replay the retired hour-stepped loop draw for
+//! draw, which [`FleetSim::run_reference`] (the loop, kept verbatim) and
+//! the `des_equivalence` differential suite pin down byte-for-byte.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -17,16 +27,22 @@ use sustain_core::intensity::AccountingBasis;
 use sustain_core::quality::DataQualityReport;
 use sustain_core::stats::Poisson;
 use sustain_core::units::{Co2e, Energy, Fraction, TimeSpan};
+use sustain_des::{Engine, Event, EventKind, Timeline};
 use sustain_obs::Obs;
 use sustain_telemetry::device::PowerModel;
 use sustain_telemetry::faults::{FaultInjector, ImputationPolicy};
 use sustain_telemetry::meter::FaultTolerantIntegrator;
 use sustain_workload::training::JobGenerator;
 
+use crate::autoscale::{AutoScaler, DiurnalLoad};
 use crate::chaos::ChaosConfig;
 use crate::cluster::Cluster;
 use crate::datacenter::DataCenter;
 use crate::utilization::UtilizationModel;
+
+/// Seconds per simulated hour — the event-time granularity of the hourly
+/// rollup adapter.
+const SECS_PER_HOUR: u64 = 3600;
 
 /// Configuration of a fleet simulation run.
 #[derive(Debug, Clone)]
@@ -207,8 +223,8 @@ impl FleetSim {
         self
     }
 
-    /// Runs the simulation at hourly steps under a *time-varying* grid
-    /// intensity (e.g. from [`crate::renewable::VariableIntensity`] or an
+    /// Runs the simulation under a *time-varying* grid intensity (e.g. from
+    /// [`crate::renewable::VariableIntensity`] or an
     /// [`IntensitySeries`](crate::scheduler::IntensitySeries)): each hour's
     /// energy is converted at that hour's intensity, which is how
     /// carbon-aware operation is actually accounted.
@@ -217,7 +233,7 @@ impl FleetSim {
         rng: &mut R,
         series: &crate::scheduler::IntensitySeries,
     ) -> FleetSimReport {
-        let (mut report, _) = self.run_inner(rng, Some(series), None);
+        let (mut report, _, _) = self.run_event_driven(rng, Some(series), None, None);
         report.operational_market = report.operational_location
             * self
                 .datacenter
@@ -228,9 +244,10 @@ impl FleetSim {
         report
     }
 
-    /// Runs the simulation at hourly steps.
+    /// Runs the simulation over the horizon, one event-driven hour at a
+    /// time.
     pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> FleetSimReport {
-        self.run_inner(rng, None, None).0
+        self.run_event_driven(rng, None, None, None).0
     }
 
     /// Runs the simulation with a [`ChaosConfig`] injecting host crashes
@@ -244,7 +261,7 @@ impl FleetSim {
         rng: &mut R,
         chaos: &ChaosConfig,
     ) -> FleetSimReport {
-        self.run_inner(rng, None, Some(chaos)).0
+        self.run_event_driven(rng, None, Some(chaos), None).0
     }
 
     /// Chaos plus a time-varying intensity feed. Hours where the feed has a
@@ -257,7 +274,7 @@ impl FleetSim {
         series: &crate::scheduler::IntensitySeries,
         chaos: &ChaosConfig,
     ) -> FleetSimReport {
-        let (mut report, gap_co2) = self.run_inner(rng, Some(series), Some(chaos));
+        let (mut report, gap_co2, _) = self.run_event_driven(rng, Some(series), Some(chaos), None);
         let matched = report.operational_location - gap_co2;
         report.operational_market = matched
             * self
@@ -325,7 +342,91 @@ impl FleetSim {
         })
     }
 
-    fn run_inner<R: Rng + ?Sized>(
+    /// Runs the retired hour-stepped loop, kept verbatim as the executable
+    /// specification of the hourly-rollup adapter: for any seed, intensity
+    /// series, and chaos config, the event-driven [`FleetSim::run`] family
+    /// must reproduce this report byte-for-byte (see `tests/des_equivalence`
+    /// at the workspace root). Covers every public run flavour through the
+    /// optional arguments — `series` applies the market-basis gap formula
+    /// exactly as [`FleetSim::run_with_chaos_and_intensity`] does.
+    pub fn run_reference<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        series: Option<&crate::scheduler::IntensitySeries>,
+        chaos: Option<&ChaosConfig>,
+    ) -> FleetSimReport {
+        let (mut report, gap_co2) = self.run_hourly(rng, series, chaos);
+        if series.is_some() {
+            let matched = report.operational_location - gap_co2;
+            report.operational_market = matched
+                * self
+                    .datacenter
+                    .account()
+                    .renewable_matching()
+                    .complement()
+                    .value()
+                + gap_co2;
+        }
+        report
+    }
+
+    /// Runs the simulation with an [`AutoScaler`] evaluating a diurnal web
+    /// tier every `cadence_hours`, riding the same event queue as the fleet
+    /// events. Decisions observe the fleet as of the previous hour's rollup
+    /// (an `AutoscaleDecision` at an hour boundary is scheduled long before
+    /// that hour's own events, so its sequence number sorts it first) and
+    /// draw no randomness, so the returned [`FleetSimReport`] is
+    /// byte-identical to [`FleetSim::run`] under the same seed — the
+    /// [`AutoscaleOutcome`] only accounts the opportunistic capacity the
+    /// scaler would free for training (§III-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cadence_hours` is zero.
+    pub fn run_with_autoscale<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scaler: &AutoScaler,
+        load: &DiurnalLoad,
+        cadence_hours: u64,
+    ) -> (FleetSimReport, AutoscaleOutcome) {
+        assert!(cadence_hours > 0, "autoscale cadence must be positive");
+        let (report, _, outcome) = self.run_event_driven_with(
+            rng,
+            None,
+            None,
+            Some((*scaler, *load, cadence_hours)),
+            None,
+        );
+        let outcome = outcome.unwrap_or(AutoscaleOutcome {
+            decisions: 0,
+            mean_freed_share: Fraction::ZERO,
+            opportunistic_gpu_hours: 0.0,
+        });
+        (report, outcome)
+    }
+
+    /// Runs with a *scripted* crash schedule instead of the Poisson crash
+    /// process: each `(at_secs, victim)` entry schedules one `HostCrash`
+    /// event at an arbitrary event-time timestamp — mid-hour included —
+    /// whose victim is `victim % running.len()` at dispatch time. The
+    /// schedule draws no randomness, so the run's RNG stream is exactly
+    /// [`FleetSim::run`]'s; `chaos` contributes only its checkpoint policy
+    /// (recovery interval and progress overhead) and telemetry plan, never
+    /// its crash/SDC rates. This is the chaos suite's instrument for
+    /// proving that a crash landing mid-hour rolls up to the same recovered
+    /// GPU-hours as the hourly model.
+    pub fn run_with_scripted_crashes<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        chaos: &ChaosConfig,
+        crashes: &[(u64, usize)],
+    ) -> FleetSimReport {
+        self.run_event_driven_with(rng, None, Some(chaos), None, Some(crashes))
+            .0
+    }
+
+    fn run_hourly<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
         variable_intensity: Option<&crate::scheduler::IntensitySeries>,
@@ -574,6 +675,557 @@ impl FleetSim {
             quality,
         };
         (report, gap_co2)
+    }
+
+    /// The event-driven run loop behind every public `run*` flavour: builds
+    /// a [`sustain_des::Engine`] whose event train replays the hour-stepped
+    /// loop draw for draw (see the module docs for the per-hour event
+    /// order), drains it, and rolls the accumulated state up into the same
+    /// [`FleetSimReport`] the reference loop produces.
+    fn run_event_driven<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        variable_intensity: Option<&crate::scheduler::IntensitySeries>,
+        chaos: Option<&ChaosConfig>,
+        autoscale: Option<(AutoScaler, DiurnalLoad, u64)>,
+    ) -> (FleetSimReport, Co2e, Option<AutoscaleOutcome>) {
+        self.run_event_driven_with(rng, variable_intensity, chaos, autoscale, None)
+    }
+
+    fn run_event_driven_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        variable_intensity: Option<&crate::scheduler::IntensitySeries>,
+        chaos: Option<&ChaosConfig>,
+        autoscale: Option<(AutoScaler, DiurnalLoad, u64)>,
+        scripted_crashes: Option<&[(u64, usize)]>,
+    ) -> (FleetSimReport, Co2e, Option<AutoscaleOutcome>) {
+        let step = TimeSpan::from_hours(1.0);
+        let steps = self.horizon.as_hours().ceil() as usize;
+        // lint:allow(panic-discipline) documented panic on a non-positive arrival rate
+        let arrivals = Poisson::new(self.arrivals_per_day / 24.0).expect("positive arrival rate");
+
+        // Chaos machinery — every piece is inert (no scheduled events, no
+        // RNG draws, exact ×1.0 derate) when `chaos` is absent or
+        // zero-rate, so the undisturbed simulation is reproduced
+        // bit-for-bit. A scripted crash schedule replaces the Poisson
+        // processes entirely.
+        let servers = self.cluster.servers() as f64;
+        let crash_dist = if scripted_crashes.is_some() {
+            None
+        } else {
+            chaos.and_then(|c| {
+                let per_hour = c.crash_rate_per_server_day * servers / 24.0;
+                (per_hour > 0.0)
+                    .then(|| Poisson::new(per_hour).ok())
+                    .flatten()
+            })
+        };
+        let sdc_dist = if scripted_crashes.is_some() {
+            None
+        } else {
+            chaos.and_then(|c| {
+                let per_hour = c.sdc_rate_per_server_hour() * servers;
+                (per_hour > 0.0)
+                    .then(|| Poisson::new(per_hour).ok())
+                    .flatten()
+            })
+        };
+        let progress_derate = match chaos {
+            Some(c) => 1.0 / (1.0 + c.checkpoint.overhead.value()),
+            None => 1.0,
+        };
+        let meter = chaos.and_then(|c| {
+            (!c.telemetry.is_none()).then(|| {
+                (
+                    FaultInjector::new(&c.telemetry, "fleet-power").with_obs(&self.obs),
+                    FaultTolerantIntegrator::new(step, ImputationPolicy::LastObservation),
+                )
+            })
+        });
+
+        let obs = &self.obs;
+        obs.set_time(TimeSpan::ZERO);
+        let run_span = obs.span("fleet_sim.run");
+
+        let has_crash = crash_dist.is_some();
+        let has_sdc = sdc_dist.is_some();
+        let has_autoscale = autoscale.is_some();
+        let mut state = DesRun {
+            sim: self,
+            rng,
+            series: variable_intensity,
+            chaos,
+            step,
+            steps,
+            total_gpus: self.cluster.total_gpus() as f64,
+            gpus_per_server: self.cluster.sku().accelerators().max(1) as f64,
+            arrivals,
+            crash_dist,
+            sdc_dist,
+            progress_derate,
+            meter,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            free_gpus: self.cluster.total_gpus(),
+            pending_completions: VecDeque::new(),
+            next_completion: 0,
+            hour_energy: Energy::ZERO,
+            it_energy: Energy::ZERO,
+            completed: 0,
+            allocation_acc: 0.0,
+            busy_util_acc: 0.0,
+            busy_gpu_hours: 0.0,
+            variable_co2: Co2e::ZERO,
+            host_crashes: 0,
+            sdc_events: 0,
+            recomputed_gpu_hours: 0.0,
+            intensity_gap_hours: 0,
+            gap_co2: Co2e::ZERO,
+            jobs_arrived: 0,
+            scripted_crashes,
+            autoscale: autoscale.map(|(scaler, load, cadence_hours)| AutoscaleState {
+                scaler,
+                load,
+                cadence_hours,
+                decisions: 0,
+                freed_share_acc: 0.0,
+                opportunistic_gpu_hours: 0.0,
+            }),
+        };
+
+        let mut engine: Engine<'_, DesRun<'_, R>> = Engine::with_obs(obs);
+        engine.on(EventKind::JobArrival, des_arrival::<R>);
+        engine.on(EventKind::HostCrash, des_host_crash::<R>);
+        engine.on(EventKind::SdcDetected, des_sdc::<R>);
+        engine.on(EventKind::CheckpointTick, des_checkpoint::<R>);
+        engine.on(EventKind::JobCompletion, des_completion::<R>);
+        engine.on(EventKind::IntensityTick, des_rollup::<R>);
+        engine.on(EventKind::AutoscaleDecision, des_autoscale::<R>);
+
+        // Hour 0's head events; each hour's IntensityTick schedules the
+        // next hour, so the queue drains exactly at the horizon.
+        engine.schedule_at(0, Event::JobArrival { id: 0 });
+        if has_crash {
+            engine.schedule_at(0, Event::HostCrash { id: 0 });
+        }
+        if has_sdc {
+            engine.schedule_at(0, Event::SdcDetected { id: 0 });
+        }
+        engine.schedule_at(0, Event::CheckpointTick { id: 0 });
+        if has_autoscale {
+            engine.schedule_at(0, Event::AutoscaleDecision { id: 0 });
+        }
+        if let Some(script) = scripted_crashes {
+            for (k, (at, _)) in script.iter().enumerate() {
+                engine.schedule_at(*at, Event::HostCrash { id: k as u64 });
+            }
+        }
+        engine.run(&mut state);
+
+        obs.set_time(step * steps as f64);
+        drop(run_span);
+        if obs.enabled() {
+            obs.counter("fleet_jobs_arrived_total")
+                .add(state.jobs_arrived as f64);
+            obs.counter("fleet_jobs_completed_total")
+                .add(state.completed as f64);
+            obs.counter("fleet_host_crashes_total")
+                .add(state.host_crashes as f64);
+            obs.counter("fleet_sdc_events_total")
+                .add(state.sdc_events as f64);
+            obs.counter("fleet_intensity_gap_hours_total")
+                .add(state.intensity_gap_hours as f64);
+        }
+
+        // Embodied carbon on a time-share basis: the whole cluster exists for
+        // the whole horizon, whoever used it.
+        let embodied = self.cluster.total_embodied()
+            * (self.horizon / self.cluster.sku().embodied().lifetime());
+
+        let account = self.datacenter.account();
+        let operational_location = if variable_intensity.is_some() {
+            state.variable_co2
+        } else {
+            account.location_based(state.it_energy)
+        };
+        let host_crashes = state.host_crashes;
+        let quality = state.meter.map(|(inj, mut integ)| {
+            integ.merge_faults(&inj.counts());
+            let mut q = integ.report();
+            q.faults.host_crashes += host_crashes;
+            q
+        });
+        let outcome = state.autoscale.map(|a| AutoscaleOutcome {
+            decisions: a.decisions,
+            mean_freed_share: if a.decisions > 0 {
+                Fraction::saturating(a.freed_share_acc / a.decisions as f64)
+            } else {
+                Fraction::ZERO
+            },
+            opportunistic_gpu_hours: a.opportunistic_gpu_hours,
+        });
+        let report = FleetSimReport {
+            it_energy: state.it_energy,
+            operational_location,
+            operational_market: account.market_based(state.it_energy),
+            embodied,
+            jobs_completed: state.completed,
+            jobs_outstanding: (state.queue.len() + state.running.len()) as u64,
+            mean_allocation: Fraction::saturating(state.allocation_acc / steps as f64),
+            mean_busy_utilization: if state.busy_gpu_hours > 0.0 {
+                Fraction::saturating(state.busy_util_acc / state.busy_gpu_hours)
+            } else {
+                Fraction::ZERO
+            },
+            host_crashes,
+            sdc_events: state.sdc_events,
+            recomputed_gpu_hours: state.recomputed_gpu_hours,
+            intensity_gap_hours: state.intensity_gap_hours,
+            quality,
+        };
+        (report, state.gap_co2, outcome)
+    }
+}
+
+/// What the auto-scaler riding the event queue would have freed for
+/// opportunistic training (§III-C). Deliberately not part of
+/// [`FleetSimReport`]: autoscale decisions observe the fleet but never
+/// mutate it, so the report stays byte-identical to [`FleetSim::run`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleOutcome {
+    /// Number of `AutoscaleDecision` events evaluated.
+    pub decisions: u64,
+    /// Mean share of the web tier freed across decisions.
+    pub mean_freed_share: Fraction,
+    /// Freed capacity integrated over the horizon, in GPU-hours — the
+    /// opportunistic envelope available to offline training.
+    pub opportunistic_gpu_hours: f64,
+}
+
+/// Accumulator behind [`FleetSim::run_with_autoscale`].
+struct AutoscaleState {
+    scaler: AutoScaler,
+    load: DiurnalLoad,
+    cadence_hours: u64,
+    decisions: u64,
+    freed_share_acc: f64,
+    opportunistic_gpu_hours: f64,
+}
+
+/// Shared state threaded through the DES handlers: the simulation config,
+/// the caller's RNG (the *only* randomness source — handlers draw from it
+/// in a fixed per-hour order so the event train replays the hour-stepped
+/// loop exactly), and every accumulator of the retired loop.
+struct DesRun<'a, R: Rng + ?Sized> {
+    sim: &'a FleetSim,
+    rng: &'a mut R,
+    series: Option<&'a crate::scheduler::IntensitySeries>,
+    chaos: Option<&'a ChaosConfig>,
+    step: TimeSpan,
+    steps: usize,
+    total_gpus: f64,
+    gpus_per_server: f64,
+    arrivals: Poisson,
+    crash_dist: Option<Poisson>,
+    sdc_dist: Option<Poisson>,
+    progress_derate: f64,
+    meter: Option<(FaultInjector, FaultTolerantIntegrator)>,
+    queue: VecDeque<RunningJob>,
+    running: Vec<RunningJob>,
+    free_gpus: u32,
+    pending_completions: VecDeque<u32>,
+    next_completion: u64,
+    hour_energy: Energy,
+    it_energy: Energy,
+    completed: u64,
+    allocation_acc: f64,
+    busy_util_acc: f64,
+    busy_gpu_hours: f64,
+    variable_co2: Co2e,
+    host_crashes: u64,
+    sdc_events: u64,
+    recomputed_gpu_hours: f64,
+    intensity_gap_hours: u64,
+    gap_co2: Co2e,
+    jobs_arrived: u64,
+    scripted_crashes: Option<&'a [(u64, usize)]>,
+    autoscale: Option<AutoscaleState>,
+}
+
+/// `JobArrival`: samples the hour's Poisson arrival batch, then places
+/// queued jobs FIFO onto free GPUs.
+fn des_arrival<R: Rng + ?Sized>(
+    state: &mut DesRun<'_, R>,
+    _event: Event,
+    _timeline: &mut Timeline,
+) {
+    let obs = state.sim.obs.clone();
+    {
+        let _phase = obs.span("fleet_sim.arrivals");
+        let count = state.arrivals.sample_count(&mut *state.rng);
+        state.jobs_arrived += count;
+        for _ in 0..count {
+            let job = state.sim.jobs.sample(&mut *state.rng);
+            let gpu_hours = job.gpu_days() * 24.0;
+            let utilization = state.sim.utilization.sample(&mut *state.rng);
+            state.queue.push_back(RunningJob {
+                gpus: job.gpus().min(state.sim.cluster.total_gpus()),
+                total_gpu_hours: gpu_hours,
+                remaining_gpu_hours: gpu_hours,
+                utilization,
+            });
+        }
+    }
+    {
+        let _phase = obs.span("fleet_sim.placement");
+        while let Some(job) = state.queue.front() {
+            if job.gpus <= state.free_gpus {
+                // lint:allow(panic-discipline) loop condition checked front()
+                let job = state.queue.pop_front().expect("front exists");
+                state.free_gpus -= job.gpus;
+                state.running.push(job);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// `HostCrash`: crashes roll victims back to their last checkpoint — half
+/// an interval of progress lost on average, recomputed as real energy.
+fn des_host_crash<R: Rng + ?Sized>(
+    state: &mut DesRun<'_, R>,
+    event: Event,
+    _timeline: &mut Timeline,
+) {
+    let obs = state.sim.obs.clone();
+    let _phase = obs.span("fleet_sim.chaos_recovery");
+    let interval_hours = match state.chaos {
+        Some(c) => c.checkpoint.interval.as_hours(),
+        None => return,
+    };
+    // A scripted crash: one event per script entry, victim chosen by the
+    // script (mod the running set), no RNG draws at all.
+    if let Some(script) = state.scripted_crashes {
+        state.host_crashes += 1;
+        if state.running.is_empty() {
+            return; // the crash hit an idle server
+        }
+        let scripted_victim = script
+            .get(event.id() as usize)
+            .map(|(_, victim)| *victim)
+            .unwrap_or(0);
+        let victim = scripted_victim % state.running.len();
+        if let Some(job) = state.running.get_mut(victim) {
+            let done = (job.total_gpu_hours - job.remaining_gpu_hours).max(0.0);
+            let rate = job.gpus as f64 * job.utilization.value() * state.progress_derate;
+            let lost = (0.5 * interval_hours * rate).min(done);
+            job.remaining_gpu_hours += lost;
+            state.recomputed_gpu_hours += lost;
+            obs.event("chaos.crash", &[("lost_gpu_hours", lost.into())]);
+        }
+        return;
+    }
+    let count = match &state.crash_dist {
+        Some(dist) => dist.sample_count(&mut *state.rng),
+        None => return,
+    };
+    for _ in 0..count {
+        state.host_crashes += 1;
+        if state.running.is_empty() {
+            continue; // the crash hit an idle server
+        }
+        let victim = state.rng.gen_index(state.running.len());
+        if let Some(job) = state.running.get_mut(victim) {
+            let done = (job.total_gpu_hours - job.remaining_gpu_hours).max(0.0);
+            let rate = job.gpus as f64 * job.utilization.value() * state.progress_derate;
+            let lost = (0.5 * interval_hours * rate).min(done);
+            job.remaining_gpu_hours += lost;
+            state.recomputed_gpu_hours += lost;
+            obs.event("chaos.crash", &[("lost_gpu_hours", lost.into())]);
+        }
+    }
+}
+
+/// `SdcDetected`: silent data corruption re-runs a fraction of everything
+/// the victim had completed.
+fn des_sdc<R: Rng + ?Sized>(state: &mut DesRun<'_, R>, _event: Event, _timeline: &mut Timeline) {
+    let obs = state.sim.obs.clone();
+    let _phase = obs.span("fleet_sim.chaos_recovery");
+    let rerun = match state.chaos {
+        Some(c) => c.sdc_rerun.value(),
+        None => return,
+    };
+    let count = match &state.sdc_dist {
+        Some(dist) => dist.sample_count(&mut *state.rng),
+        None => return,
+    };
+    for _ in 0..count {
+        state.sdc_events += 1;
+        if state.running.is_empty() {
+            continue;
+        }
+        let victim = state.rng.gen_index(state.running.len());
+        if let Some(job) = state.running.get_mut(victim) {
+            let done = (job.total_gpu_hours - job.remaining_gpu_hours).max(0.0);
+            let lost = rerun * done;
+            job.remaining_gpu_hours += lost;
+            state.recomputed_gpu_hours += lost;
+            obs.event("chaos.sdc", &[("lost_gpu_hours", lost.into())]);
+        }
+    }
+}
+
+/// `CheckpointTick`: advances every running job one hour, integrating busy
+/// energy and progress; finished jobs become `JobCompletion` events at the
+/// same timestamp, and the hour's `IntensityTick` is scheduled after them
+/// so the rollup sees the freed GPUs.
+fn des_checkpoint<R: Rng + ?Sized>(
+    state: &mut DesRun<'_, R>,
+    event: Event,
+    timeline: &mut Timeline,
+) {
+    let obs = state.sim.obs.clone();
+    let _phase = obs.span("fleet_sim.integrate");
+    let step = state.step;
+    let mut running = std::mem::take(&mut state.running);
+    let mut still_running = Vec::with_capacity(running.len());
+    for mut job in running.drain(..) {
+        let gpu_hours = job.gpus as f64;
+        let power = state.sim.cluster.sku().power_model().power(job.utilization);
+        // Per-GPU share of the server power envelope.
+        state.hour_energy += power * step * (job.gpus as f64 / state.gpus_per_server);
+        state.busy_util_acc += job.utilization.value() * gpu_hours;
+        state.busy_gpu_hours += gpu_hours;
+        job.remaining_gpu_hours -= gpu_hours * job.utilization.value() * state.progress_derate;
+        if job.remaining_gpu_hours <= 0.0 {
+            let id = state.next_completion;
+            state.next_completion += 1;
+            state.pending_completions.push_back(job.gpus);
+            timeline.schedule_at(timeline.now(), Event::JobCompletion { id });
+        } else {
+            still_running.push(job);
+        }
+    }
+    state.running = still_running;
+    timeline.schedule_at(timeline.now(), Event::IntensityTick { id: event.id() });
+}
+
+/// `JobCompletion`: retires one finished job and returns its GPUs to the
+/// free pool. Completions pop in scheduling order (stable seq tie-break),
+/// so the FIFO hand-off from [`des_checkpoint`] is exact.
+fn des_completion<R: Rng + ?Sized>(
+    state: &mut DesRun<'_, R>,
+    _event: Event,
+    _timeline: &mut Timeline,
+) {
+    if let Some(gpus) = state.pending_completions.pop_front() {
+        state.completed += 1;
+        state.free_gpus += gpus;
+    }
+}
+
+/// `IntensityTick`: the hourly rollup adapter. Adds idle power, folds the
+/// hour's energy into the run totals and the carbon accounts (at the
+/// hour's feed intensity when one is attached, with chaos feed gaps falling
+/// back to the static average), pushes the metered view through the fault
+/// injector, and schedules the next hour's head events.
+fn des_rollup<R: Rng + ?Sized>(state: &mut DesRun<'_, R>, event: Event, timeline: &mut Timeline) {
+    let obs = state.sim.obs.clone();
+    let _phase = obs.span("fleet_sim.rollup");
+    let step = state.step;
+    let hour = event.id() as usize;
+    // Idle servers draw idle power.
+    let idle_fraction = state.free_gpus as f64 / state.total_gpus;
+    let idle_servers = state.sim.cluster.servers() as f64 * idle_fraction;
+    state.hour_energy += state.sim.cluster.sku().power(Fraction::ZERO) * step * idle_servers;
+    state.allocation_acc += 1.0 - idle_fraction;
+    state.it_energy += state.hour_energy;
+    if obs.enabled() {
+        obs.histogram("fleet_hour_energy_kwh")
+            .record(state.hour_energy.as_kilowatt_hours());
+        obs.gauge("fleet_free_gpus").set(state.free_gpus as f64);
+    }
+    // Chaos: the fleet's own metering sees a corrupted view of the hour's
+    // mean power; the degraded-but-tolerant reading path accounts it. The
+    // simulation keeps integrating the truth.
+    let hour_energy = state.hour_energy;
+    if let Some((inj, integ)) = state.meter.as_mut() {
+        let at = step * hour as f64;
+        match inj.corrupt(at, step, hour_energy / step) {
+            Some((t, p)) => integ.push_traced(t, Some(p), &obs),
+            None => integ.push_traced(at, None, &obs),
+        };
+    }
+    if let Some(series) = state.series {
+        let account = state.sim.datacenter.account();
+        let facility = account.pue().facility_energy(hour_energy);
+        let chaos = state.chaos;
+        let feed_gap = chaos.is_some_and(|c| {
+            c.intensity_gap > Fraction::ZERO && state.rng.gen_bool(c.intensity_gap.value())
+        });
+        if feed_gap {
+            // Feed missing: fall back to the region's static average
+            // intensity; the hour cannot be renewably matched.
+            let co2 = account.location_based(hour_energy);
+            state.variable_co2 += co2;
+            state.gap_co2 += co2;
+            state.intensity_gap_hours += 1;
+            obs.event("fleet_sim.intensity_gap", &[("hour", (hour as u64).into())]);
+        } else {
+            state.variable_co2 += series.at(hour).emissions(facility);
+        }
+    }
+    state.hour_energy = Energy::ZERO;
+    let next = hour + 1;
+    if next < state.steps {
+        let at = next as u64 * SECS_PER_HOUR;
+        timeline.schedule_at(at, Event::JobArrival { id: next as u64 });
+        if state.crash_dist.is_some() {
+            timeline.schedule_at(at, Event::HostCrash { id: next as u64 });
+        }
+        if state.sdc_dist.is_some() {
+            timeline.schedule_at(at, Event::SdcDetected { id: next as u64 });
+        }
+        timeline.schedule_at(at, Event::CheckpointTick { id: next as u64 });
+    }
+}
+
+/// `AutoscaleDecision`: evaluates the diurnal web tier at event time and
+/// accounts the capacity an [`AutoScaler`] would free for opportunistic
+/// training. Observes the fleet, never mutates it, draws no randomness.
+fn des_autoscale<R: Rng + ?Sized>(
+    state: &mut DesRun<'_, R>,
+    event: Event,
+    timeline: &mut Timeline,
+) {
+    let obs = state.sim.obs.clone();
+    let total_gpus = state.total_gpus;
+    let horizon_secs = state.steps as u64 * SECS_PER_HOUR;
+    let Some(auto) = state.autoscale.as_mut() else {
+        return;
+    };
+    let now = timeline.now();
+    let utilization = auto.load.utilization_at(TimeSpan::from_secs(now as f64));
+    let freed = auto.scaler.freed_share_at(utilization);
+    auto.decisions += 1;
+    auto.freed_share_acc += freed.value();
+    // The freed share holds until the next decision (or the horizon).
+    let window_hours = auto
+        .cadence_hours
+        .min((horizon_secs.saturating_sub(now)) / SECS_PER_HOUR) as f64;
+    auto.opportunistic_gpu_hours += freed.value() * total_gpus * window_hours;
+    obs.event(
+        "fleet_sim.autoscale",
+        &[
+            ("freed_share", freed.value().into()),
+            ("epoch", event.id().into()),
+        ],
+    );
+    let at = now.saturating_add(auto.cadence_hours * SECS_PER_HOUR);
+    if at < horizon_secs {
+        timeline.schedule_at(at, Event::AutoscaleDecision { id: event.id() + 1 });
     }
 }
 

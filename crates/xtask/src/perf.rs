@@ -323,6 +323,7 @@ pub fn parse_bench(text: &str) -> Result<BenchReport, String> {
         ("cache", &["cold", "warm"][..]),
         ("stream", &["serial", "parallel"][..]),
         ("energy_integrate", &["clean", "faulty"][..]),
+        ("des_events", &["hot", "logged"][..]),
     ] {
         for key in keys {
             add(
@@ -726,5 +727,19 @@ mod tests {
         .expect("parses");
         assert!(report.rows.contains_key("energy_integrate.clean"));
         assert!(report.rows.contains_key("energy_integrate.faulty"));
+    }
+
+    #[test]
+    fn des_event_rows_parse() {
+        let report = parse_bench(
+            "{\"schema_version\": 2, \"host\": {\"available_parallelism\": 8, \
+             \"os\": \"linux\"}, \"quick\": false, \"des_events\": {\
+             \"events\": 1000000, \"tokens\": 1024, \
+             \"hot\": {\"median_ms\": 60.0, \"min_ms\": 58.0}, \
+             \"logged\": {\"median_ms\": 75.0, \"min_ms\": 72.0}}}",
+        )
+        .expect("parses");
+        assert!(report.rows.contains_key("des_events.hot"));
+        assert!(report.rows.contains_key("des_events.logged"));
     }
 }

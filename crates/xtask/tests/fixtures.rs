@@ -916,6 +916,71 @@ fn prof_crate_bans_nondeterminism_sources() {
     assert!(hits.contains(&Rule::Determinism), "got {hits:?}");
 }
 
+// -------------------------------------------------------------- des crate
+
+/// The event engine's dispatch order IS the simulation's semantics: a
+/// hash-ordered handler registry or cancel set would make the event log
+/// layout-dependent. SIM_CRATES membership turns the taint rules on.
+const DES_LIB: &str = "crates/des/src/engine.rs";
+
+#[test]
+fn des_registry_fixture_trips_determinism_taint() {
+    let src = include_str!("fixtures/des_registry.rs");
+    let diags = lint_source(DES_LIB, src);
+    let msgs: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::DeterminismTaint)
+        .map(|d| d.message.as_str())
+        .collect();
+    // Both the hash-ordered dispatch sweep and the cancel-set retain fire.
+    assert_eq!(msgs.len(), 2, "got {diags:?}");
+}
+
+#[test]
+fn des_fixture_clean_when_densely_indexed_and_btree_ordered() {
+    // The corrected form of the same registry — the shape the real engine
+    // uses: handlers in a dense per-kind vector, the cancel set ordered.
+    let src = "use std::collections::BTreeSet;\n\
+               pub struct HandlerRegistry {\n\
+               \x20   handlers: Vec<Vec<String>>,\n\
+               \x20   cancelled: BTreeSet<u64>,\n\
+               }\n\
+               impl HandlerRegistry {\n\
+               \x20   pub fn dispatch_all(&mut self) -> Vec<String> {\n\
+               \x20       let mut fired = Vec::new();\n\
+               \x20       for names in self.handlers.iter() {\n\
+               \x20           fired.extend(names.iter().cloned());\n\
+               \x20       }\n\
+               \x20       fired\n\
+               \x20   }\n\
+               \x20   pub fn drop_cancelled(&mut self) -> usize {\n\
+               \x20       let dropped = self.cancelled.len();\n\
+               \x20       self.cancelled.retain(|seq| *seq == 0);\n\
+               \x20       dropped\n\
+               \x20   }\n\
+               }\n";
+    assert_clean(DES_LIB, src);
+}
+
+#[test]
+fn des_taint_not_enforced_outside_sim_crates() {
+    let src = include_str!("fixtures/des_registry.rs");
+    let diags = lint_source(CORE_LIB, src);
+    assert!(
+        !diags.iter().any(|d| d.rule == Rule::DeterminismTaint),
+        "got {diags:?}"
+    );
+}
+
+#[test]
+fn des_crate_bans_nondeterminism_sources() {
+    // Wall-clock or ambient randomness inside the engine would break the
+    // same-seed-same-log replay contract the proptests pin.
+    let src = "fn f() { let _r = rand::thread_rng(); }\n";
+    let hits = rules_hit("crates/des/src/event.rs", src);
+    assert!(hits.contains(&Rule::Determinism), "got {hits:?}");
+}
+
 #[test]
 fn fix_allow_reports_clean_lint() {
     assert!(xtask::render_fix_allow(&[]).contains("clean"));

@@ -1,0 +1,31 @@
+//! Planted violation: a discrete-event handler registry keyed on a
+//! `HashMap`. Draining the pending-kind set to dispatch makes handler
+//! firing order depend on hash layout — two runs of the "same" schedule
+//! interleave their side effects differently, so the event log (and every
+//! rollup built on it) diffs against itself. The real engine indexes
+//! handlers by a dense `EventKind::index()` vector and keeps its cancel
+//! set in a `BTreeSet`. Linted under a `crates/des` path by the fixture
+//! tests; never compiled.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct HandlerRegistry {
+    handlers: HashMap<u64, Vec<String>>,
+    cancelled: HashSet<u64>,
+}
+
+impl HandlerRegistry {
+    pub fn dispatch_all(&mut self) -> Vec<String> {
+        let mut fired = Vec::new();
+        for (_kind, names) in self.handlers.iter() {
+            fired.extend(names.iter().cloned());
+        }
+        fired
+    }
+
+    pub fn drop_cancelled(&mut self) -> usize {
+        let dropped = self.cancelled.len();
+        self.cancelled.retain(|seq| *seq == 0);
+        dropped
+    }
+}

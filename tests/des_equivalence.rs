@@ -1,0 +1,177 @@
+//! Differential equivalence suite: the event-driven `FleetSim` (the
+//! `sustain-des` engine behind `run`/`run_with_chaos`/the intensity
+//! flavours) against `FleetSim::run_reference`, the retired hour-stepped
+//! loop kept verbatim as the rollup adapter's executable specification.
+//!
+//! Every comparison is on the *serialized* `FleetSimReport` — byte
+//! equality, not approximate — across seeds × chaos on/off × thread counts
+//! {1, 4}, plus the intensity-series accounting paths. If any of these
+//! fail, the DES adapter has drifted from the hourly model and
+//! `figures_output.txt` is about to drift with it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sustainai::core::intensity::GridRegion;
+use sustainai::core::units::{Power, TimeSpan};
+use sustainai::fleet::chaos::ChaosConfig;
+use sustainai::fleet::cluster::Cluster;
+use sustainai::fleet::datacenter::DataCenter;
+use sustainai::fleet::scheduler::IntensitySeries;
+use sustainai::fleet::sim::{FleetSim, FleetSimReport};
+use sustainai::fleet::utilization::UtilizationModel;
+use sustainai::par::ParPool;
+use sustainai::workload::training::{JobClass, JobGenerator};
+
+const SEEDS: [u64; 5] = [1, 7, 29, 0xDE5, 0xFEED_F00D];
+
+fn sim(servers: u32, arrivals_per_day: f64, days: f64) -> FleetSim {
+    FleetSim::new(
+        Cluster::gpu_training(servers),
+        DataCenter::hyperscale("dc", GridRegion::UsAverage, Power::from_megawatts(10.0)),
+        JobGenerator::calibrated(JobClass::Research).expect("calibrated generator"),
+        UtilizationModel::research_cluster(),
+        arrivals_per_day,
+        TimeSpan::from_days(days),
+    )
+}
+
+fn bytes(report: &FleetSimReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+/// Asserts the DES report and the reference report serialize to the same
+/// bytes, with a seed-labelled failure message.
+fn assert_byte_identical(des: &FleetSimReport, reference: &FleetSimReport, label: &str) {
+    assert_eq!(
+        bytes(des),
+        bytes(reference),
+        "DES path diverged from hour-stepped reference ({label})"
+    );
+}
+
+#[test]
+fn des_matches_reference_across_seeds_without_chaos() {
+    for seed in SEEDS {
+        let des = sim(10, 12.0, 5.0).run(&mut StdRng::seed_from_u64(seed));
+        let reference =
+            sim(10, 12.0, 5.0).run_reference(&mut StdRng::seed_from_u64(seed), None, None);
+        assert_byte_identical(&des, &reference, &format!("seed {seed}, no chaos"));
+    }
+}
+
+#[test]
+fn des_matches_reference_across_seeds_with_chaos() {
+    let chaos = ChaosConfig::datacenter_default();
+    for seed in SEEDS {
+        let des = sim(10, 12.0, 5.0).run_with_chaos(&mut StdRng::seed_from_u64(seed), &chaos);
+        let reference =
+            sim(10, 12.0, 5.0).run_reference(&mut StdRng::seed_from_u64(seed), None, Some(&chaos));
+        assert_byte_identical(&des, &reference, &format!("seed {seed}, chaos"));
+    }
+}
+
+#[test]
+fn des_matches_reference_with_zero_chaos() {
+    // ChaosConfig::none() must be byte-for-byte the no-chaos run on both
+    // the DES path and the reference path.
+    let none = ChaosConfig::none();
+    for seed in SEEDS {
+        let des = sim(8, 10.0, 4.0).run_with_chaos(&mut StdRng::seed_from_u64(seed), &none);
+        let reference =
+            sim(8, 10.0, 4.0).run_reference(&mut StdRng::seed_from_u64(seed), None, None);
+        assert_byte_identical(&des, &reference, &format!("seed {seed}, zero chaos"));
+    }
+}
+
+#[test]
+fn des_matches_reference_under_variable_intensity() {
+    let series = IntensitySeries::solar_day(6);
+    for seed in SEEDS {
+        let des = sim(10, 12.0, 5.0).run_with_intensity(&mut StdRng::seed_from_u64(seed), &series);
+        let reference =
+            sim(10, 12.0, 5.0).run_reference(&mut StdRng::seed_from_u64(seed), Some(&series), None);
+        assert_byte_identical(&des, &reference, &format!("seed {seed}, intensity"));
+    }
+}
+
+#[test]
+fn des_matches_reference_under_chaos_and_intensity_gaps() {
+    use sustainai::core::units::Fraction;
+    let series = IntensitySeries::solar_day(6);
+    let chaos = ChaosConfig::datacenter_default().with_intensity_gap(Fraction::saturating(0.25));
+    for seed in SEEDS {
+        let des = sim(10, 12.0, 5.0).run_with_chaos_and_intensity(
+            &mut StdRng::seed_from_u64(seed),
+            &series,
+            &chaos,
+        );
+        let reference = sim(10, 12.0, 5.0).run_reference(
+            &mut StdRng::seed_from_u64(seed),
+            Some(&series),
+            Some(&chaos),
+        );
+        assert_byte_identical(&des, &reference, &format!("seed {seed}, chaos+intensity"));
+    }
+}
+
+#[test]
+fn des_replicas_match_reference_across_thread_counts() {
+    // The DES path runs inside every replica task; the joined batch must be
+    // byte-identical for 1 and 4 threads, and each replica must equal the
+    // reference loop under its derived seed.
+    let fleet = sim(10, 10.0, 5.0);
+    let chaos = ChaosConfig::datacenter_default();
+    for chaos_on in [false, true] {
+        ParPool::set_threads(1);
+        let serial = if chaos_on {
+            fleet.run_replicas_with_chaos(6, 29, &chaos)
+        } else {
+            fleet.run_replicas(6, 29)
+        };
+        ParPool::set_threads(4);
+        let parallel = if chaos_on {
+            fleet.run_replicas_with_chaos(6, 29, &chaos)
+        } else {
+            fleet.run_replicas(6, 29)
+        };
+        ParPool::set_threads(0);
+        assert_eq!(serial, parallel, "thread-count drift (chaos={chaos_on})");
+        for (i, replica) in serial.iter().enumerate() {
+            let seed = sustainai::par::task_seed(29, i as u64);
+            let reference = fleet.run_reference(
+                &mut StdRng::seed_from_u64(seed),
+                None,
+                chaos_on.then_some(&chaos),
+            );
+            assert_byte_identical(
+                replica,
+                &reference,
+                &format!("replica {i}, chaos={chaos_on}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn autoscale_ride_along_leaves_report_untouched() {
+    use sustainai::fleet::autoscale::{AutoScaler, DiurnalLoad};
+    for seed in SEEDS {
+        let plain = sim(8, 10.0, 4.0).run(&mut StdRng::seed_from_u64(seed));
+        let (scaled, outcome) = sim(8, 10.0, 4.0).run_with_autoscale(
+            &mut StdRng::seed_from_u64(seed),
+            &AutoScaler::paper_default(),
+            &DiurnalLoad::web_tier(),
+            1,
+        );
+        assert_byte_identical(
+            &scaled,
+            &plain,
+            &format!("seed {seed}, autoscale ride-along"),
+        );
+        // 4 days at hourly cadence: one decision per simulated hour.
+        assert_eq!(outcome.decisions, 96);
+        assert!(outcome.opportunistic_gpu_hours > 0.0);
+        assert!(outcome.mean_freed_share.value() > 0.0);
+    }
+}
